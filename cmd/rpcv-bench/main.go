@@ -1,0 +1,66 @@
+// Command rpcv-bench regenerates the paper's evaluation figures on the
+// simulated testbed and prints each as a text table.
+//
+// Usage:
+//
+//	rpcv-bench -fig all            # every figure, paper-faithful scale
+//	rpcv-bench -fig 7 -quick       # one figure, reduced sweep
+//	rpcv-bench -fig 9 -seed 42     # different randomness
+//
+// Absolute numbers come from the calibrated simulator, not the 2004
+// testbed; EXPERIMENTS.md documents the shape comparisons with the
+// paper's figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rpcv/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,10,11 or all")
+	quick := flag.Bool("quick", false, "reduced sweeps and populations")
+	seed := flag.Int64("seed", 2004, "random seed")
+	flag.Parse()
+
+	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	runners := map[string]func(experiments.Options) experiments.Result{
+		"4": experiments.Fig4, "5": experiments.Fig5, "6": experiments.Fig6,
+		"7": experiments.Fig7, "8": experiments.Fig8, "9": experiments.Fig9,
+		"10": experiments.Fig10, "11": experiments.Fig11,
+		"ablation-heartbeat":   experiments.AblationHeartbeat,
+		"ablation-replication": experiments.AblationReplicationPeriod,
+		"ablation-recovery":    experiments.AblationRecovery,
+	}
+	order := []string{"4", "5", "6", "7", "8", "9", "10", "11",
+		"ablation-heartbeat", "ablation-replication", "ablation-recovery"}
+
+	var selected []string
+	if *fig == "all" {
+		selected = order
+	} else {
+		for _, f := range strings.Split(*fig, ",") {
+			f = strings.TrimSpace(f)
+			if _, ok := runners[f]; !ok {
+				fmt.Fprintf(os.Stderr, "rpcv-bench: unknown figure %q (want 4..11, ablation-*, or all)\n", f)
+				os.Exit(2)
+			}
+			selected = append(selected, f)
+		}
+	}
+
+	for _, f := range selected {
+		start := time.Now()
+		res := runners[f](opts)
+		for _, tb := range res.Tables {
+			tb.Write(os.Stdout)
+			fmt.Println()
+		}
+		fmt.Fprintf(os.Stderr, "rpcv-bench: %s done in %v (wall clock)\n", res.Name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,85 @@
+// Command rpcv-coordinator runs one RPC-V middle-tier coordinator as a
+// real TCP daemon.
+//
+// Usage:
+//
+//	rpcv-coordinator -id coord-a -listen :7000 \
+//	    -peers coord-b=host2:7000,coord-c=host3:7000 \
+//	    -disk /var/lib/rpcv/coord-a -replication 60s
+//
+// Peers are fellow coordinators forming the passive-replication ring.
+// Clients and servers reach this coordinator at the listen address; the
+// daemon learns their reply addresses from the directory flags of those
+// components (static directories; a production deployment would learn
+// them from connections or a registry).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rpcv/internal/coordinator"
+	"rpcv/internal/db"
+	"rpcv/internal/proto"
+	"rpcv/internal/rt"
+	"rpcv/internal/shared"
+)
+
+func main() {
+	id := flag.String("id", "coord-00", "stable coordinator ID")
+	listen := flag.String("listen", "127.0.0.1:7000", "TCP listen address")
+	peers := flag.String("peers", "", "comma-separated id=addr fellow coordinators")
+	clients := flag.String("nodes", "", "comma-separated id=addr known clients/servers (static directory)")
+	disk := flag.String("disk", "", "stable storage directory (empty: volatile)")
+	replication := flag.Duration("replication", 60*time.Second, "passive replication period")
+	heartbeat := flag.Duration("heartbeat", 5*time.Second, "heartbeat period")
+	timeout := flag.Duration("timeout", 30*time.Second, "fault suspicion timeout")
+	flag.Parse()
+
+	dir, coordIDs, err := shared.ParseDirectory(*peers)
+	if err != nil {
+		log.Fatalf("rpcv-coordinator: -peers: %v", err)
+	}
+	nodeDir, _, err := shared.ParseDirectory(*clients)
+	if err != nil {
+		log.Fatalf("rpcv-coordinator: -nodes: %v", err)
+	}
+	for k, v := range nodeDir {
+		dir[k] = v
+	}
+	coordIDs = append(coordIDs, proto.NodeID(*id))
+
+	co := coordinator.New(coordinator.Config{
+		Coordinators:      coordIDs,
+		ReplicationPeriod: *replication,
+		HeartbeatPeriod:   *heartbeat,
+		HeartbeatTimeout:  *timeout,
+		DBCost:            db.RealLifeCost(),
+		OnJobFinished: func(call proto.CallID, at time.Time) {
+			log.Printf("finished %s at %s", call, at.Format(time.RFC3339))
+		},
+	})
+
+	rtm, err := rt.Start(rt.Config{
+		ID:         proto.NodeID(*id),
+		ListenAddr: *listen,
+		Directory:  dir,
+		DiskDir:    *disk,
+		Handler:    co,
+	})
+	if err != nil {
+		log.Fatalf("rpcv-coordinator: %v", err)
+	}
+	defer rtm.Close()
+	fmt.Printf("rpcv-coordinator %s listening on %s (ring of %d)\n", *id, rtm.Addr(), len(coordIDs))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("rpcv-coordinator %s: shutting down", *id)
+}

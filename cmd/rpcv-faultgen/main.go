@@ -1,0 +1,97 @@
+// Command rpcv-faultgen reimplements the paper's fault generator for
+// real deployments: it supervises one RPC-V component process and,
+// "upon order, or from its own initiative with respect to its
+// configuration, kills abruptly the RPC-V component of the hosting
+// machine" — then restarts it after a downtime, keeping the population
+// constant as in the figure 7 experiment.
+//
+// Usage:
+//
+//	rpcv-faultgen -mtbf 90s -downtime 5s -- \
+//	    rpcv-server -id worker-1 -coordinators coord-a=host:7000
+//
+// Kills are SIGKILL (abrupt: no cleanup, no disconnection notice),
+// exercising the intermittent-crash path of the protocol. SIGINT on
+// the fault generator itself stops the loop and the child cleanly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"os/exec"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	mtbf := flag.Duration("mtbf", time.Minute, "mean time between failures (exponential)")
+	downtime := flag.Duration("downtime", 5*time.Second, "delay before restarting the victim")
+	seed := flag.Int64("seed", 0, "randomness seed (0: time-based)")
+	once := flag.Bool("once", false, "kill exactly once, then keep the child running")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: rpcv-faultgen [flags] -- command [args...]")
+		os.Exit(2)
+	}
+	if *seed == 0 {
+		*seed = time.Now().UnixNano()
+	}
+	rng := rand.New(rand.NewSource(*seed))
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	kills := 0
+	for {
+		cmd := exec.Command(args[0], args[1:]...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			log.Fatalf("rpcv-faultgen: start: %v", err)
+		}
+		log.Printf("rpcv-faultgen: child pid %d up", cmd.Process.Pid)
+
+		wait := exponential(rng.Float64(), *mtbf)
+		if *once && kills > 0 {
+			wait = time.Duration(math.MaxInt64) // never again
+		}
+		exited := make(chan error, 1)
+		go func() { exited <- cmd.Wait() }()
+
+		select {
+		case <-stop:
+			log.Printf("rpcv-faultgen: stopping; terminating child")
+			_ = cmd.Process.Signal(syscall.SIGTERM)
+			<-exited
+			return
+		case err := <-exited:
+			log.Printf("rpcv-faultgen: child exited on its own (%v); restarting after %v", err, *downtime)
+		case <-time.After(wait):
+			kills++
+			log.Printf("rpcv-faultgen: KILLING child abruptly (fault #%d)", kills)
+			_ = cmd.Process.Kill()
+			<-exited
+		}
+
+		select {
+		case <-stop:
+			return
+		case <-time.After(*downtime):
+		}
+	}
+}
+
+// exponential maps a uniform sample to an exponential wait.
+func exponential(u float64, mean time.Duration) time.Duration {
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return time.Duration(-math.Log(u) * float64(mean))
+}

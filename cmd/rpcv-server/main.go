@@ -1,0 +1,76 @@
+// Command rpcv-server runs one RPC-V worker as a real TCP daemon.
+//
+// Usage:
+//
+//	rpcv-server -id worker-7 -listen :7100 \
+//	    -coordinators coord-a=host1:7000,coord-b=host2:7000 \
+//	    -disk /var/lib/rpcv/worker-7 -parallel 2
+//
+// The worker pulls tasks from its preferred coordinator with 5-second
+// heartbeats, executes the built-in demo services (echo, upper,
+// reverse, sum, sleep) or synthetic timed tasks, durably logs result
+// archives, and fails over between coordinators on suspicion. Kill it
+// abruptly at any time: on restart it re-synchronizes from its local
+// log and re-offers unacknowledged results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rpcv/internal/proto"
+	"rpcv/internal/rt"
+	"rpcv/internal/server"
+	"rpcv/internal/shared"
+)
+
+func main() {
+	id := flag.String("id", "server-000", "stable worker ID")
+	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
+	coords := flag.String("coordinators", "", "comma-separated id=addr coordinator list (required)")
+	disk := flag.String("disk", "", "stable storage directory (empty: volatile)")
+	parallel := flag.Int("parallel", 1, "concurrent task capacity")
+	heartbeat := flag.Duration("heartbeat", 5*time.Second, "heartbeat period")
+	timeout := flag.Duration("timeout", 30*time.Second, "coordinator suspicion timeout")
+	flag.Parse()
+
+	dir, coordIDs, err := shared.ParseDirectory(*coords)
+	if err != nil || len(coordIDs) == 0 {
+		log.Fatalf("rpcv-server: -coordinators: %v (at least one id=addr required)", err)
+	}
+
+	sv := server.New(server.Config{
+		Coordinators:     coordIDs,
+		HeartbeatPeriod:  *heartbeat,
+		SuspicionTimeout: *timeout,
+		Parallelism:      *parallel,
+		Services:         shared.BuiltinServices(),
+		OnTaskDone: func(task proto.TaskID, at time.Time) {
+			log.Printf("executed %s", task)
+		},
+	})
+
+	rtm, err := rt.Start(rt.Config{
+		ID:         proto.NodeID(*id),
+		ListenAddr: *listen,
+		Directory:  dir,
+		DiskDir:    *disk,
+		Handler:    sv,
+	})
+	if err != nil {
+		log.Fatalf("rpcv-server: %v", err)
+	}
+	defer rtm.Close()
+	fmt.Printf("rpcv-server %s listening on %s, %d coordinator(s), parallelism %d\n",
+		*id, rtm.Addr(), len(coordIDs), *parallel)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("rpcv-server %s: shutting down", *id)
+}

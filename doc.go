@@ -1,0 +1,19 @@
+// Package rpcv is a from-scratch Go reproduction of "RPC-V: Toward
+// Fault-Tolerant RPC for Internet Connected Desktop Grids with Volatile
+// Nodes" (Djilali, Hérault, Lodygensky, Morlier, Fedak, Cappello —
+// SC2004).
+//
+// The library implements the full RPC-V protocol — three-tier
+// architecture, sender-based message logging, unreliable fault
+// detectors (heartbeat suspicion) on every component, and passive
+// coordinator replication on a virtual ring — together with every
+// substrate the paper's evaluation depends on: a deterministic
+// discrete-event simulator with calibrated network/disk/database
+// models, a real-time TCP runtime, a GridRPC-style API, a fault
+// generator, and the synthetic + Alcatel-like workloads.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for the paper-vs-measured
+// comparison of every figure. The benchmarks in bench_test.go
+// regenerate each figure; cmd/rpcv-bench prints them as tables.
+package rpcv

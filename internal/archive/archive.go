@@ -1,0 +1,165 @@
+// Package archive implements the file-archive format RPC-V uses for RPC
+// parameter and result transport: "a file or a directory is compressed
+// into an archive file" (paper §2.1). Servers build an archive of new
+// or modified files (including application outputs) after execution and
+// send it to the coordinator; that archive also serves as the server's
+// log entry.
+//
+// The format is deliberately simple and self-contained (stdlib only):
+// a magic header, then a flate-compressed stream of length-prefixed
+// (name, payload) entries, with a CRC-32 trailer over the uncompressed
+// stream for corruption detection.
+package archive
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+)
+
+// magic identifies the archive format ("RPCV" + version 1).
+var magic = [5]byte{'R', 'P', 'C', 'V', 1}
+
+// maxEntrySize caps a single file payload (1 GiB) to bound decoder
+// allocations against corrupt or hostile input.
+const maxEntrySize = 1 << 30
+
+// maxNameLen caps entry names.
+const maxNameLen = 4096
+
+// Archive is an in-memory set of named files.
+type Archive struct {
+	files map[string][]byte
+}
+
+// New returns an empty archive.
+func New() *Archive { return &Archive{files: make(map[string][]byte)} }
+
+// Add stores payload under name, replacing any previous entry.
+func (a *Archive) Add(name string, payload []byte) {
+	a.files[name] = append([]byte(nil), payload...)
+}
+
+// Get returns the payload stored under name.
+func (a *Archive) Get(name string) ([]byte, bool) {
+	p, ok := a.files[name]
+	return p, ok
+}
+
+// Names returns the entry names, sorted.
+func (a *Archive) Names() []string {
+	names := make([]string, 0, len(a.files))
+	for n := range a.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of entries.
+func (a *Archive) Len() int { return len(a.files) }
+
+// Encode serializes and compresses the archive.
+func (a *Archive) Encode() ([]byte, error) {
+	var raw bytes.Buffer
+	names := a.Names()
+	var scratch [8]byte
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(names)))
+	raw.Write(scratch[:4])
+	for _, name := range names {
+		payload := a.files[name]
+		if len(name) > maxNameLen {
+			return nil, fmt.Errorf("archive: name too long (%d bytes)", len(name))
+		}
+		binary.LittleEndian.PutUint32(scratch[:4], uint32(len(name)))
+		raw.Write(scratch[:4])
+		raw.WriteString(name)
+		binary.LittleEndian.PutUint64(scratch[:], uint64(len(payload)))
+		raw.Write(scratch[:])
+		raw.Write(payload)
+	}
+	sum := crc32.ChecksumIEEE(raw.Bytes())
+
+	var out bytes.Buffer
+	out.Write(magic[:])
+	fw, err := flate.NewWriter(&out, flate.BestSpeed)
+	if err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	if _, err := fw.Write(raw.Bytes()); err != nil {
+		return nil, fmt.Errorf("archive: compress: %w", err)
+	}
+	if err := fw.Close(); err != nil {
+		return nil, fmt.Errorf("archive: compress: %w", err)
+	}
+	binary.LittleEndian.PutUint32(scratch[:4], sum)
+	out.Write(scratch[:4])
+	return out.Bytes(), nil
+}
+
+// ErrCorrupt is returned when an archive fails structural or checksum
+// validation.
+var ErrCorrupt = errors.New("archive: corrupt data")
+
+// Decode parses an encoded archive.
+func Decode(data []byte) (*Archive, error) {
+	if len(data) < len(magic)+4 {
+		return nil, ErrCorrupt
+	}
+	if !bytes.Equal(data[:len(magic)], magic[:]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	body := data[len(magic) : len(data)-4]
+	wantSum := binary.LittleEndian.Uint32(data[len(data)-4:])
+
+	fr := flate.NewReader(bytes.NewReader(body))
+	raw, err := io.ReadAll(fr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if crc32.ChecksumIEEE(raw) != wantSum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+
+	a := New()
+	r := bytes.NewReader(raw)
+	var scratch [8]byte
+	if _, err := io.ReadFull(r, scratch[:4]); err != nil {
+		return nil, ErrCorrupt
+	}
+	count := binary.LittleEndian.Uint32(scratch[:4])
+	for i := uint32(0); i < count; i++ {
+		if _, err := io.ReadFull(r, scratch[:4]); err != nil {
+			return nil, ErrCorrupt
+		}
+		nameLen := binary.LittleEndian.Uint32(scratch[:4])
+		if nameLen > maxNameLen {
+			return nil, fmt.Errorf("%w: name length %d", ErrCorrupt, nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, ErrCorrupt
+		}
+		if _, err := io.ReadFull(r, scratch[:]); err != nil {
+			return nil, ErrCorrupt
+		}
+		size := binary.LittleEndian.Uint64(scratch[:])
+		if size > maxEntrySize {
+			return nil, fmt.Errorf("%w: entry size %d", ErrCorrupt, size)
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, ErrCorrupt
+		}
+		a.files[string(name)] = payload
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%w: trailing data", ErrCorrupt)
+	}
+	return a, nil
+}

@@ -1,0 +1,175 @@
+package archive
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripEmpty(t *testing.T) {
+	enc, err := New().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Len() != 0 {
+		t.Fatalf("decoded %d entries, want 0", dec.Len())
+	}
+}
+
+func TestRoundTripFiles(t *testing.T) {
+	a := New()
+	a.Add("out/result.dat", []byte{1, 2, 3, 255, 0, 9})
+	a.Add("stdout.txt", []byte("signal lost: 0.02 dB\n"))
+	a.Add("empty", nil)
+
+	enc, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := dec.Names(), []string{"empty", "out/result.dat", "stdout.txt"}; len(got) != len(want) {
+		t.Fatalf("names = %v, want %v", got, want)
+	}
+	for _, name := range a.Names() {
+		wantPayload, _ := a.Get(name)
+		gotPayload, ok := dec.Get(name)
+		if !ok {
+			t.Fatalf("entry %q missing after round trip", name)
+		}
+		if !bytes.Equal(gotPayload, wantPayload) {
+			t.Errorf("entry %q payload mismatch", name)
+		}
+	}
+}
+
+func TestAddReplaces(t *testing.T) {
+	a := New()
+	a.Add("f", []byte("v1"))
+	a.Add("f", []byte("v2"))
+	if a.Len() != 1 {
+		t.Fatalf("len = %d, want 1", a.Len())
+	}
+	p, _ := a.Get("f")
+	if string(p) != "v2" {
+		t.Fatalf("payload = %q, want v2", p)
+	}
+}
+
+func TestAddCopiesPayload(t *testing.T) {
+	buf := []byte("mutable")
+	a := New()
+	a.Add("f", buf)
+	buf[0] = 'X'
+	p, _ := a.Get("f")
+	if string(p) != "mutable" {
+		t.Fatalf("archive aliased caller's buffer: %q", p)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	a := New()
+	a.Add("f", bytes.Repeat([]byte("data"), 100))
+	enc, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     enc[:4],
+		"bad magic": append([]byte("XXXXX"), enc[5:]...),
+	}
+	// Flip one byte in the compressed body.
+	flipped := append([]byte(nil), enc...)
+	flipped[len(flipped)/2] ^= 0xFF
+	cases["bit flip"] = flipped
+	// Corrupt the checksum.
+	sum := append([]byte(nil), enc...)
+	sum[len(sum)-1] ^= 0xFF
+	cases["bad checksum"] = sum
+
+	for name, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("%s: Decode accepted corrupt input", name)
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingData(t *testing.T) {
+	// Extra uncompressed payload after the declared entries must fail.
+	a := New()
+	a.Add("f", []byte("x"))
+	enc, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(append(enc, 0, 0, 0, 0)); err == nil {
+		// Trailing bytes after the CRC make the CRC check read the
+		// wrong trailer, so this must error one way or another.
+		t.Error("Decode accepted trailing garbage")
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	// Property: Decode(Encode(a)) == a for arbitrary payload sets.
+	f := func(names []string, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := New()
+		want := make(map[string][]byte)
+		for i, n := range names {
+			if len(n) > maxNameLen {
+				n = n[:maxNameLen]
+			}
+			if n == "" {
+				continue
+			}
+			payload := make([]byte, rng.Intn(4096))
+			rng.Read(payload)
+			a.Add(n, payload)
+			want[n] = payload
+			_ = i
+		}
+		enc, err := a.Encode()
+		if err != nil {
+			return false
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		if dec.Len() != len(want) {
+			return false
+		}
+		for n, p := range want {
+			got, ok := dec.Get(n)
+			if !ok || !bytes.Equal(got, p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompression(t *testing.T) {
+	// Highly redundant payloads must shrink.
+	a := New()
+	a.Add("zeros", make([]byte, 1<<16))
+	enc, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) >= 1<<15 {
+		t.Errorf("64 KiB of zeros encoded to %d bytes; compression ineffective", len(enc))
+	}
+}

@@ -1,0 +1,625 @@
+// Package client implements the RPC-V first tier: the application-side
+// component that submits RPC calls and collects results.
+//
+// The client never contacts servers: all calls go to its preferred
+// coordinator, which virtualizes the execution (three-tier
+// architecture). Submissions are non-blocking and tagged with a
+// per-session counter; every outgoing submission is recorded in the
+// sender-based message log using one of the three strategies of
+// figure 4. Results are collected by periodically pulling the
+// coordinator; submission and collection run concurrently.
+//
+// On coordinator silence the client suspects it, selects another from
+// its list and synchronizes states from the local log (timestamp
+// comparison). On restart after a crash, the client reloads its log,
+// resynchronizes, and resumes exactly after the last RPC call
+// registered on the Coordinator.
+package client
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rpcv/internal/detector"
+	"rpcv/internal/msglog"
+	"rpcv/internal/node"
+	"rpcv/internal/proto"
+	"rpcv/internal/statesync"
+)
+
+// Config parameterizes a client.
+type Config struct {
+	// User and Session identify this client instance's call IDs.
+	User    proto.UserID
+	Session proto.SessionID
+
+	// Coordinators is the initial coordinator list.
+	Coordinators []proto.NodeID
+
+	// PollPeriod is the result-pull period. Default 1 s (the confined
+	// platform pulls aggressively; real deployments may stretch this).
+	PollPeriod time.Duration
+
+	// SuspicionTimeout is the silence duration after which the
+	// preferred coordinator is suspected. Default detector.DefaultTimeout.
+	SuspicionTimeout time.Duration
+
+	// Logging selects the message-logging strategy (figure 4).
+	Logging msglog.Strategy
+
+	// Disk models log-write latency; nil means msglog.IDEDisk().
+	Disk msglog.DiskModel
+
+	// OnResult, when non-nil, is invoked once per completed call when
+	// its result first reaches the client.
+	OnResult func(res proto.Result, at time.Time)
+
+	// OnSubmitComplete, when non-nil, is invoked when a submission
+	// operation completes per the logging strategy's definition of
+	// completion — the quantity figure 4 measures.
+	OnSubmitComplete func(seq proto.RPCSeq, issued, completed time.Time)
+
+	// AckResyncTimeout bounds how long a submission may stay
+	// unacknowledged before the client triggers a synchronization to
+	// resend it (a Submit lost on the best-effort network leaves no
+	// other trace). Zero means 2x SuspicionTimeout; negative disables
+	// the check (benchmarks measuring raw submission cost).
+	AckResyncTimeout time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.PollPeriod <= 0 {
+		c.PollPeriod = time.Second
+	}
+	if c.SuspicionTimeout <= 0 {
+		c.SuspicionTimeout = detector.DefaultTimeout
+	}
+	if c.User == "" {
+		c.User = "user"
+	}
+	if c.AckResyncTimeout == 0 {
+		c.AckResyncTimeout = 2 * c.SuspicionTimeout
+	}
+}
+
+// call tracks one submitted RPC on the client.
+//
+// A submission operation is *complete* — the quantity figure 4 measures
+// — when (a) the coordinator acknowledged the registration (the call
+// and its parameters crossed the network and entered the database) and
+// (b) the logging strategy's gate cleared: immediately for optimistic,
+// after the durable write for the pessimistic protocols. For blocking
+// pessimistic the write precedes the send, so (b) always precedes (a).
+type call struct {
+	submit     *proto.Submit
+	issued     time.Time
+	lastResent time.Time // last (re)transmission, for the ack check
+	logDone    bool      // the strategy's logging gate has cleared
+	acked      bool      // coordinator acknowledged registration
+	completed  bool      // both conditions met; callback fired
+	result     *proto.Result
+}
+
+// Client is the application-side node handler.
+type Client struct {
+	cfg Config
+	env node.Env
+
+	log     *msglog.Log
+	coords  []proto.NodeID
+	pref    proto.NodeID
+	monitor *detector.Monitor
+
+	nextSeq proto.RPCSeq
+	calls   map[proto.RPCSeq]*call
+
+	pollTimer node.Timer
+	ackTimer  node.Timer
+	stopped   bool
+
+	// fetchQueue holds the sequence numbers still to pull one-by-one
+	// after a lost-log synchronization; fetchRetry re-asks for the head
+	// if the reply is lost, with exponential backoff so that a slow
+	// (large) reply in transit is not re-requested forever.
+	fetchQueue    []proto.RPCSeq
+	fetchRetry    node.Timer
+	fetchAttempts int
+
+	submitted int
+	completed int
+	failovers int
+	syncs     int
+}
+
+// New creates a client handler.
+func New(cfg Config) *Client {
+	cfg.applyDefaults()
+	return &Client{cfg: cfg}
+}
+
+var _ node.Handler = (*Client)(nil)
+
+// Start implements node.Handler. A restarting client replays its
+// durable submission log: the application rolls back to the point
+// exactly following the last registered call.
+func (c *Client) Start(env node.Env) {
+	c.env = env
+	c.stopped = false
+	c.calls = make(map[proto.RPCSeq]*call)
+	c.coords = statesync.MergeNodeLists(c.cfg.Coordinators)
+	c.log = msglog.New(env, msglog.Config{
+		Prefix:   "client/submit/",
+		Strategy: c.cfg.Logging,
+		Disk:     c.cfg.Disk,
+	})
+	c.nextSeq = 0
+	c.recoverFromLog()
+
+	c.monitor = detector.NewMonitor(env, detector.MonitorConfig{
+		Timeout:   c.cfg.SuspicionTimeout,
+		OnSuspect: c.onCoordinatorSuspected,
+	})
+	c.pickPreferred()
+	// Synchronize with the coordinator only when there is state to
+	// reconcile (a restart with recovered calls); a pristine client has
+	// nothing to exchange, and an initial sync would race its first
+	// submissions, duplicating them.
+	if c.pref != "" && len(c.calls) > 0 {
+		c.sendSync()
+	}
+	c.schedulePoll()
+	c.scheduleAckCheck()
+}
+
+// scheduleAckCheck periodically verifies that every submission was
+// acknowledged; a long-unacked call means the Submit (or its ack) was
+// lost, and a synchronization will resend it. This is the paper's
+// "components synchronize their local state from these logs on each
+// communication", run proactively.
+func (c *Client) scheduleAckCheck() {
+	if c.cfg.AckResyncTimeout < 0 {
+		return
+	}
+	c.ackTimer = c.env.After(c.cfg.AckResyncTimeout/2, func() {
+		now := c.env.Now()
+		for _, cl := range c.calls {
+			if cl.submit != nil && !cl.acked &&
+				now.Sub(cl.lastResent) >= c.cfg.AckResyncTimeout {
+				c.sendSync()
+				break
+			}
+		}
+		if !c.stopped {
+			c.scheduleAckCheck()
+		}
+	})
+}
+
+// Stop implements node.Handler.
+func (c *Client) Stop() {
+	c.stopped = true
+	if c.monitor != nil {
+		c.monitor.Close()
+	}
+	if c.pollTimer != nil {
+		c.pollTimer.Stop()
+	}
+	if c.ackTimer != nil {
+		c.ackTimer.Stop()
+	}
+	if c.log != nil {
+		c.log.Close()
+	}
+}
+
+func (c *Client) recoverFromLog() {
+	for _, key := range c.log.Keys() {
+		raw, ok := c.log.Get(key)
+		if !ok {
+			continue
+		}
+		msg, err := proto.DecodeMessage(raw)
+		if err != nil {
+			c.env.Logf("client: corrupt log entry %s: %v", key, err)
+			continue
+		}
+		sub, ok := msg.(*proto.Submit)
+		if !ok {
+			continue
+		}
+		c.calls[sub.Call.Seq] = &call{
+			submit: sub, issued: c.env.Now(),
+			logDone: true, acked: true, completed: true,
+		}
+		if sub.Call.Seq > c.nextSeq {
+			c.nextSeq = sub.Call.Seq
+		}
+	}
+	if len(c.calls) > 0 {
+		c.env.Logf("client: recovered %d calls from log, resuming at seq %d", len(c.calls), c.nextSeq+1)
+	}
+}
+
+func (c *Client) pickPreferred() {
+	for _, id := range c.coords {
+		if !c.monitor.Suspected(id) {
+			if c.pref != id {
+				c.pref = id
+				c.monitor.Watch(id)
+			}
+			return
+		}
+	}
+	if len(c.coords) > 0 {
+		c.pref = c.coords[0]
+	}
+}
+
+func (c *Client) onCoordinatorSuspected(id proto.NodeID) {
+	if id != c.pref {
+		return
+	}
+	c.env.Logf("client: suspect coordinator %s, failing over", id)
+	c.failovers++
+	c.pickPreferred()
+	c.sendSync()
+}
+
+// ForcePreferred overrides coordinator selection (figure 11 forces the
+// client to submit to a specific coordinator).
+func (c *Client) ForcePreferred(id proto.NodeID) {
+	c.pref = id
+	c.monitor.Watch(id)
+}
+
+// ---------------------------------------------------------------------
+// Submission
+// ---------------------------------------------------------------------
+
+// Submit issues one non-blocking RPC call and returns its sequence
+// number. Event-loop only (experiments schedule it onto the loop).
+func (c *Client) Submit(service string, params []byte, execTime time.Duration, resultSize int) proto.RPCSeq {
+	c.nextSeq++
+	seq := c.nextSeq
+	sub := &proto.Submit{
+		Call:       proto.CallID{User: c.cfg.User, Session: c.cfg.Session, Seq: seq},
+		Service:    service,
+		Params:     params,
+		ExecTime:   execTime,
+		ResultSize: resultSize,
+	}
+	cl := &call{submit: sub, issued: c.env.Now(), lastResent: c.env.Now()}
+	c.calls[seq] = cl
+	c.submitted++
+	c.sendSubmit(cl)
+	return seq
+}
+
+func (c *Client) sendSubmit(cl *call) {
+	seq := cl.submit.Call.Seq
+	entry := msglog.Entry{
+		Key:  fmt.Sprintf("%020d", seq),
+		Data: proto.EncodeMessage(cl.submit),
+	}
+	c.log.LogAndSend(c.pref, cl.submit, entry, func() {
+		cl.logDone = true
+		c.maybeComplete(cl)
+	})
+}
+
+// maybeComplete fires the submission-complete callback once both the
+// log gate and the coordinator ack are in.
+func (c *Client) maybeComplete(cl *call) {
+	if cl.completed || !cl.logDone || !cl.acked {
+		return
+	}
+	cl.completed = true
+	c.completed++
+	if c.cfg.OnSubmitComplete != nil {
+		c.cfg.OnSubmitComplete(cl.submit.Call.Seq, cl.issued, c.env.Now())
+	}
+}
+
+// resendSubmit retransmits a logged submission (synchronization found
+// it missing on the coordinator). No completion callback: the original
+// operation already completed from the application's point of view.
+func (c *Client) resendSubmit(seq proto.RPCSeq) {
+	cl, ok := c.calls[seq]
+	if !ok || cl.submit == nil {
+		return
+	}
+	cl.lastResent = c.env.Now()
+	c.env.Send(c.pref, cl.submit)
+}
+
+// ---------------------------------------------------------------------
+// Result collection
+// ---------------------------------------------------------------------
+
+func (c *Client) schedulePoll() {
+	c.pollTimer = c.env.After(c.cfg.PollPeriod, func() {
+		c.pollNow()
+		if !c.stopped {
+			c.schedulePoll()
+		}
+	})
+}
+
+func (c *Client) pollNow() {
+	if c.pref == "" {
+		return
+	}
+	var have []proto.RPCSeq
+	for seq, cl := range c.calls {
+		if cl.result != nil {
+			have = append(have, seq)
+		}
+	}
+	sort.Slice(have, func(i, j int) bool { return have[i] < have[j] })
+	c.env.Send(c.pref, &proto.Poll{User: c.cfg.User, Session: c.cfg.Session, Have: have})
+}
+
+// Receive implements node.Handler.
+func (c *Client) Receive(from proto.NodeID, msg proto.Message) {
+	if c.stopped {
+		return
+	}
+	switch m := msg.(type) {
+	case *proto.SubmitAck:
+		c.handleSubmitAck(from, m)
+	case *proto.Results:
+		c.handleResults(from, m)
+	case *proto.SyncReply:
+		c.handleSyncReply(from, m)
+	case *proto.FetchReply:
+		c.handleFetchReply(from, m)
+	default:
+		c.env.Logf("client: unexpected %s from %s", msg.Kind(), from)
+	}
+}
+
+func (c *Client) handleSubmitAck(from proto.NodeID, m *proto.SubmitAck) {
+	c.monitor.Observe(from)
+	if cl, ok := c.calls[m.Call.Seq]; ok {
+		cl.acked = true
+		if cl.submit != nil {
+			c.maybeComplete(cl)
+		}
+	}
+}
+
+func (c *Client) handleResults(from proto.NodeID, m *proto.Results) {
+	c.monitor.Observe(from)
+	if m.User != c.cfg.User || m.Session != c.cfg.Session {
+		return
+	}
+	for i := range m.Results {
+		res := m.Results[i]
+		cl, ok := c.calls[res.Call.Seq]
+		if !ok {
+			// Result for a call from a lost log suffix (optimistic
+			// logging crash): adopt it — the computation is not wasted.
+			cl = &call{issued: c.env.Now(), completed: true}
+			c.calls[res.Call.Seq] = cl
+			if res.Call.Seq > c.nextSeq {
+				c.nextSeq = res.Call.Seq
+			}
+		}
+		if cl.result != nil {
+			continue // duplicate delivery
+		}
+		cl.result = &res
+		if c.cfg.OnResult != nil {
+			c.cfg.OnResult(res, c.env.Now())
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Synchronization
+// ---------------------------------------------------------------------
+
+// sendSync opens the client/coordinator synchronization: exchange of
+// maximum timestamps, then resend of whatever the coordinator lacks.
+func (c *Client) sendSync() {
+	if c.pref == "" {
+		return
+	}
+	c.syncs++
+	c.env.Send(c.pref, &proto.SyncRequest{
+		User:    c.cfg.User,
+		Session: c.cfg.Session,
+		MaxSeq:  c.maxLoggedSeq(),
+		HaveLog: c.log.Len() > 0,
+	})
+}
+
+// SyncNow triggers a synchronization round (experiment hook, fig. 6).
+func (c *Client) SyncNow() { c.sendSync() }
+
+func (c *Client) maxLoggedSeq() proto.RPCSeq {
+	var max proto.RPCSeq
+	for seq, cl := range c.calls {
+		if cl.submit != nil && seq > max {
+			max = seq
+		}
+	}
+	return max
+}
+
+func (c *Client) handleSyncReply(from proto.NodeID, m *proto.SyncReply) {
+	c.monitor.Observe(from)
+	if m.User != c.cfg.User || m.Session != c.cfg.Session {
+		return
+	}
+	// Resend calls the coordinator does not know. Known lists only
+	// arrive when we lost our log; with a log we conservatively resend
+	// everything past the coordinator's max plus any unacked below it.
+	if len(m.Known) > 0 {
+		// Slow direction (coordinator logs only): adopt the
+		// coordinator's view for the calls we lost. Retrieving this
+		// list is the "additional overhead, before the actual logs
+		// exchange begins" of figure 6; the result payloads then flow
+		// back through the bulk pull below.
+		for _, seq := range m.Known {
+			if _, ok := c.calls[seq]; !ok {
+				c.calls[seq] = &call{
+					issued:  c.env.Now(),
+					logDone: true, acked: true, completed: true,
+				}
+				if seq > c.nextSeq {
+					c.nextSeq = seq
+				}
+			}
+		}
+	}
+	// Resend every locally logged call the coordinator does not know —
+	// including holes below its maximum timestamp (submissions lost on
+	// the wire).
+	for _, seq := range statesync.MissingSeqs(c.maxLoggedSeq(), m.Known) {
+		c.resendSubmit(seq)
+	}
+	// Pull results we may have missed while away — unless a fetch chain
+	// is rebuilding them one by one already (pulling everything again
+	// in one bulk reply would double every transfer).
+	if len(c.fetchQueue) == 0 {
+		c.pollNow()
+	}
+}
+
+// FetchCall pulls one specific call's stored state from the preferred
+// coordinator (a targeted, connection-less recovery interaction). The
+// bulk poll covers normal recovery; FetchCall serves tooling that wants
+// a single result without transferring the whole session.
+func (c *Client) FetchCall(seq proto.RPCSeq) {
+	c.fetchQueue = append(c.fetchQueue, seq)
+	if len(c.fetchQueue) == 1 {
+		c.fetchNext()
+	}
+}
+
+// fetchNext pulls the head of the fetch queue, with a backoff retry
+// timer in case the request or reply is lost. Large replies may take
+// longer than the base retry to cross the network, so the delay doubles
+// per attempt (capped), avoiding cascades of duplicate transfers.
+func (c *Client) fetchNext() {
+	if c.fetchRetry != nil {
+		c.fetchRetry.Stop()
+		c.fetchRetry = nil
+	}
+	if len(c.fetchQueue) == 0 || c.pref == "" {
+		c.fetchAttempts = 0
+		return
+	}
+	seq := c.fetchQueue[0]
+	c.env.Send(c.pref, &proto.FetchResult{
+		User:    c.cfg.User,
+		Session: c.cfg.Session,
+		Seq:     seq,
+	})
+	delay := 15 * time.Second << c.fetchAttempts
+	if delay > 10*time.Minute {
+		delay = 10 * time.Minute
+	}
+	c.fetchAttempts++
+	c.fetchRetry = c.env.After(delay, c.fetchNext)
+}
+
+func (c *Client) handleFetchReply(from proto.NodeID, m *proto.FetchReply) {
+	c.monitor.Observe(from)
+	if m.Call.User != c.cfg.User || m.Call.Session != c.cfg.Session {
+		return
+	}
+	if len(c.fetchQueue) > 0 && c.fetchQueue[0] == m.Call.Seq {
+		c.fetchQueue = c.fetchQueue[1:]
+		c.fetchAttempts = 0 // the head advanced: fresh backoff
+	}
+	if m.Finished {
+		if cl, ok := c.calls[m.Call.Seq]; ok && cl.result == nil {
+			res := m.Result
+			cl.result = &res
+			if c.cfg.OnResult != nil {
+				c.cfg.OnResult(res, c.env.Now())
+			}
+		}
+	}
+	c.fetchNext()
+}
+
+// ---------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------
+
+// Stats is a snapshot of client counters.
+type Stats struct {
+	Submitted  int
+	Completed  int // submission ops completed (strategy-dependent)
+	Acked      int
+	Results    int
+	Failovers  int
+	Syncs      int
+	Preferred  proto.NodeID
+	LoggedSeqs int
+}
+
+// StatsNow returns current counters. Event-loop only.
+func (c *Client) StatsNow() Stats {
+	st := Stats{
+		Submitted:  c.submitted,
+		Completed:  c.completed,
+		Failovers:  c.failovers,
+		Syncs:      c.syncs,
+		Preferred:  c.pref,
+		LoggedSeqs: c.log.Len(),
+	}
+	for _, cl := range c.calls {
+		if cl.acked {
+			st.Acked++
+		}
+		if cl.result != nil {
+			st.Results++
+		}
+	}
+	return st
+}
+
+// ResultCount returns the number of distinct completed calls.
+func (c *Client) ResultCount() int {
+	n := 0
+	for _, cl := range c.calls {
+		if cl.result != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Result returns the stored result for seq, if any.
+func (c *Client) Result(seq proto.RPCSeq) (*proto.Result, bool) {
+	cl, ok := c.calls[seq]
+	if !ok || cl.result == nil {
+		return nil, false
+	}
+	return cl.result, true
+}
+
+// Preferred returns the current preferred coordinator.
+func (c *Client) Preferred() proto.NodeID { return c.pref }
+
+// GCNow garbage-collects the message log: entries whose calls have a
+// delivered result are flushed (their information is safely stored
+// locally and on the coordinator). Logging capacities are bounded, so
+// the paper distributes garbage collection among all components,
+// triggered locally by conditions or explicitly by the user — this is
+// the explicit trigger. It returns the number of entries removed.
+func (c *Client) GCNow() int {
+	return c.log.GC(func(key string) bool {
+		var seq proto.RPCSeq
+		if _, err := fmt.Sscanf(key, "%d", &seq); err != nil {
+			return false // foreign key: leave it alone
+		}
+		cl, ok := c.calls[seq]
+		return ok && cl.result != nil
+	})
+}

@@ -1,0 +1,931 @@
+// Package coordinator implements the RPC-V middle tier.
+//
+// The Coordinator virtualizes servers for clients: clients never
+// contact servers directly. One coordinator process
+//
+//   - registers client RPC submissions as job records in its task
+//     database and acknowledges them;
+//   - schedules pending jobs first-come-first-served onto servers that
+//     pull work with their heartbeats;
+//   - suspects silent servers (heartbeat timeout) and re-schedules new
+//     instances of all RPC calls forwarded to the suspect ("on
+//     suspicion" replication);
+//   - stores task results, deduplicating at-least-once re-executions by
+//     CallID, and serves them to polling clients;
+//   - passively replicates its state to its successor on a virtual ring
+//     of coordinators, recomputing the ring on suspicion;
+//   - synchronizes state with reconnecting clients (timestamp
+//     comparison) and servers (peer-wise log comparison).
+//
+// All methods run on the node's event loop (see internal/node); the
+// type has no internal locking and must not be shared across loops.
+package coordinator
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rpcv/internal/db"
+	"rpcv/internal/detector"
+	"rpcv/internal/node"
+	"rpcv/internal/proto"
+	"rpcv/internal/statesync"
+)
+
+// Config parameterizes a coordinator.
+type Config struct {
+	// Coordinators is the initial finite list of known coordinators
+	// (including self), as downloaded from a known repository at system
+	// initialization. It evolves with fault suspicions and merges.
+	Coordinators []proto.NodeID
+
+	// ReplicationPeriod is the delay between passive-replication rounds
+	// to the ring successor. The paper's real-life experiments use 60 s.
+	// Zero disables periodic replication (unit tests drive it manually).
+	ReplicationPeriod time.Duration
+
+	// HeartbeatTimeout is the silence duration after which servers and
+	// the ring successor are suspected. Default detector.DefaultTimeout.
+	HeartbeatTimeout time.Duration
+
+	// HeartbeatPeriod is the period of the ring heartbeats this
+	// coordinator sends to its fellow coordinators (the paper's "heart
+	// beat" signal, which the state-abstract propagation rides on).
+	// Default detector.DefaultPeriod.
+	HeartbeatPeriod time.Duration
+
+	// DBCost models task-database operation latency; zero value means
+	// db.ConfinedCost().
+	DBCost db.CostModel
+
+	// MaxTasksPerAck caps how many task assignments ride on a single
+	// heartbeat reply. Default 4.
+	MaxTasksPerAck int
+
+	// ReplicateParamsLimit is the largest Params payload replicated
+	// with a job description. Larger payloads are file archives, which
+	// the paper does not replicate; a replica promoting such a job asks
+	// the client to resend on synchronization. Default 64 KiB.
+	ReplicateParamsLimit int
+
+	// OnJobFinished, when non-nil, is invoked each time a job first
+	// reaches the finished state on this coordinator (experiment hook:
+	// figures 9-11 plot exactly this counter over time).
+	OnJobFinished func(call proto.CallID, at time.Time)
+}
+
+func (c *Config) applyDefaults() {
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = detector.DefaultTimeout
+	}
+	if c.HeartbeatPeriod <= 0 {
+		c.HeartbeatPeriod = detector.DefaultPeriod
+	}
+	if c.DBCost == (db.CostModel{}) {
+		c.DBCost = db.ConfinedCost()
+	}
+	if c.MaxTasksPerAck <= 0 {
+		c.MaxTasksPerAck = 4
+	}
+	if c.ReplicateParamsLimit <= 0 {
+		c.ReplicateParamsLimit = 64 << 10
+	}
+}
+
+// Coordinator is the middle-tier node handler.
+type Coordinator struct {
+	cfg Config
+	env node.Env
+
+	store  *db.DB
+	dbEng  node.SerialResource // serializes database operation latency
+	epoch  uint64              // incarnation counter, persisted, stamps replica updates
+	coords []proto.NodeID
+
+	// sessionMax is the indexed per-session maximum RPC timestamp
+	// (an indexed column in the real MySQL schema: reads are free).
+	sessionMax map[sessionKey]proto.RPCSeq
+
+	// Scheduling state (volatile; rebuilt from the store on restart).
+	pendingQueue []proto.CallID                         // FCFS order
+	inQueue      map[proto.CallID]bool                  // membership in pendingQueue
+	ongoing      map[proto.CallID]ongoingInfo           // assigned, awaiting result
+	byServer     map[proto.NodeID]map[proto.CallID]bool // reverse index
+	// fromPredecessor marks calls learned as "ongoing" via replication:
+	// they are not scheduled until the predecessor is suspected.
+	fromPredecessor map[proto.CallID]bool
+
+	servers *detector.Monitor // suspicion of servers
+	ring    *detector.Monitor // suspicion of fellow coordinators
+
+	successor   proto.NodeID
+	predecessor proto.NodeID // last coordinator we received an update from
+	dirty       map[proto.CallID]bool
+	inFlight    []proto.CallID // calls carried by the round awaiting ack
+	beater      *detector.Beater
+	replTimer   node.Timer
+	replPending bool      // a round is in flight (awaiting ack)
+	replRound   uint64    // monotonic round counter (stamps updates)
+	replStart   time.Time // measurement of the in-flight round
+	lastReplDur time.Duration
+	replRounds  uint64
+
+	stopped bool
+
+	// Metrics.
+	finished        int
+	jobsAccepted    int
+	submitsReceived int
+	dupResults      int
+	rescheduled     int
+}
+
+type ongoingInfo struct {
+	server     proto.NodeID
+	task       proto.TaskID
+	assignedAt time.Time
+}
+
+// sessionKey identifies one (user, session) pair.
+type sessionKey struct {
+	user    proto.UserID
+	session proto.SessionID
+}
+
+// New creates a coordinator handler. Call sim/rt Start to boot it.
+func New(cfg Config) *Coordinator {
+	cfg.applyDefaults()
+	return &Coordinator{cfg: cfg}
+}
+
+var _ node.Handler = (*Coordinator)(nil)
+
+// ---------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------
+
+// Start implements node.Handler. On restart it reloads the job database
+// from the local disk (the durable MySQL role) and resumes with a new
+// epoch; scheduling state is conservatively rebuilt: previously ongoing
+// tasks whose results were not stored become pending again (their
+// servers will be re-observed or re-suspected through heartbeats).
+func (c *Coordinator) Start(env node.Env) {
+	c.env = env
+	c.stopped = false
+	c.store = db.New(c.cfg.DBCost)
+	c.inQueue = make(map[proto.CallID]bool)
+	c.ongoing = make(map[proto.CallID]ongoingInfo)
+	c.byServer = make(map[proto.NodeID]map[proto.CallID]bool)
+	c.fromPredecessor = make(map[proto.CallID]bool)
+	c.dirty = make(map[proto.CallID]bool)
+	c.pendingQueue = nil
+	c.sessionMax = make(map[sessionKey]proto.RPCSeq)
+	c.dbEng = node.SerialResource{}
+	c.replPending = false
+	c.successor = ""
+	c.predecessor = ""
+
+	c.coords = statesync.MergeNodeLists(c.cfg.Coordinators, []proto.NodeID{env.Self()})
+
+	c.loadEpoch()
+	c.loadStore()
+
+	c.servers = detector.NewMonitor(env, detector.MonitorConfig{
+		Timeout:   c.cfg.HeartbeatTimeout,
+		OnSuspect: c.onServerSuspected,
+	})
+	c.ring = detector.NewMonitor(env, detector.MonitorConfig{
+		Timeout:   c.cfg.HeartbeatTimeout,
+		OnSuspect: c.onCoordinatorSuspected,
+	})
+
+	c.scheduleReplication()
+	// Ring heartbeats: probe fellow coordinators every period so that
+	// ring suspicion (and recovery from wrong suspicion) works on the
+	// heartbeat timescale even when the replication period is longer.
+	c.beater = detector.NewBeater(env, c.cfg.HeartbeatPeriod, c.ringBeat)
+}
+
+// ringBeat sends a coordinator-role heartbeat to the raw ring successor
+// (ignoring suspicion, so wrongly suspected coordinators are
+// re-observed when they answer) and to the effective successor when it
+// differs.
+func (c *Coordinator) ringBeat() {
+	raw := statesync.Successor(c.env.Self(), c.coords, nil)
+	if raw == "" {
+		return
+	}
+	hb := &proto.Heartbeat{From: c.env.Self(), Role: proto.RoleCoordinator}
+	c.env.Send(raw, hb)
+	if eff := c.Successor(); eff != "" && eff != raw {
+		c.env.Send(eff, hb)
+	}
+}
+
+// Stop implements node.Handler.
+func (c *Coordinator) Stop() {
+	c.stopped = true
+	if c.servers != nil {
+		c.servers.Close()
+	}
+	if c.ring != nil {
+		c.ring.Close()
+	}
+	if c.replTimer != nil {
+		c.replTimer.Stop()
+	}
+	if c.beater != nil {
+		c.beater.Close()
+	}
+}
+
+func (c *Coordinator) loadEpoch() {
+	if raw, ok := c.env.Disk().Read("coord/epoch"); ok && len(raw) == 8 {
+		for i := 0; i < 8; i++ {
+			c.epoch |= uint64(raw[i]) << (8 * i)
+		}
+	}
+	c.epoch++
+	raw := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		raw[i] = byte(c.epoch >> (8 * i))
+	}
+	if err := c.env.Disk().Write("coord/epoch", raw); err != nil {
+		c.env.Logf("coordinator: persist epoch: %v", err)
+	}
+}
+
+func (c *Coordinator) loadStore() {
+	for _, key := range c.env.Disk().Keys("coord/job/") {
+		raw, ok := c.env.Disk().Read(key)
+		if !ok {
+			continue
+		}
+		rec, err := proto.DecodeJob(raw)
+		if err != nil {
+			c.env.Logf("coordinator: corrupt job record %s: %v", key, err)
+			continue
+		}
+		if rec.State == proto.TaskOngoing {
+			// The assignment did not survive the crash; schedule anew.
+			rec.State = proto.TaskPending
+		}
+		c.store.Put(rec)
+		c.noteSeq(rec.Call)
+		if rec.State == proto.TaskPending {
+			c.enqueue(rec.Call)
+		}
+		c.dirty[rec.Call] = true
+	}
+	c.jobsAccepted = c.store.Len()
+}
+
+func (c *Coordinator) persistJob(rec *proto.JobRecord) {
+	key := "coord/job/" + rec.Call.String()
+	if err := c.env.Disk().Write(key, proto.EncodeJob(rec)); err != nil {
+		c.env.Logf("coordinator: persist job %s: %v", rec.Call, err)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Message dispatch
+// ---------------------------------------------------------------------
+
+// Receive implements node.Handler.
+func (c *Coordinator) Receive(from proto.NodeID, msg proto.Message) {
+	if c.stopped {
+		return
+	}
+	switch m := msg.(type) {
+	case *proto.Submit:
+		c.handleSubmit(from, m)
+	case *proto.Poll:
+		c.handlePoll(from, m)
+	case *proto.SyncRequest:
+		c.handleSyncRequest(from, m)
+	case *proto.FetchResult:
+		c.handleFetchResult(from, m)
+	case *proto.Heartbeat:
+		c.handleHeartbeat(from, m)
+	case *proto.TaskResult:
+		c.handleTaskResult(from, m)
+	case *proto.ServerSync:
+		c.handleServerSync(from, m)
+	case *proto.HeartbeatAck:
+		c.handleHeartbeatAck(from, m)
+	case *proto.ReplicaUpdate:
+		c.handleReplicaUpdate(from, m)
+	case *proto.ReplicaAck:
+		c.handleReplicaAck(from, m)
+	default:
+		c.env.Logf("coordinator: unexpected %s from %s", msg.Kind(), from)
+	}
+}
+
+// afterDBCost schedules fn after the virtual latency accumulated by
+// database operations, so DB time is visible on the clock (this is the
+// effect that makes figure 5's replication DB-bound). The database is a
+// serial resource: concurrent batches queue behind one another.
+func (c *Coordinator) afterDBCost(fn func()) {
+	if cost := c.store.DrainCost(); cost > 0 {
+		c.env.After(c.dbEng.Acquire(c.env.Now(), cost), fn)
+		return
+	}
+	fn()
+}
+
+// noteSeq maintains the indexed per-session max timestamp.
+func (c *Coordinator) noteSeq(call proto.CallID) {
+	k := sessionKey{call.User, call.Session}
+	if call.Seq > c.sessionMax[k] {
+		c.sessionMax[k] = call.Seq
+	}
+}
+
+// ---------------------------------------------------------------------
+// Client interactions
+// ---------------------------------------------------------------------
+
+func (c *Coordinator) handleSubmit(from proto.NodeID, m *proto.Submit) {
+	c.submitsReceived++
+	if _, ok := c.store.Peek(m.Call); ok {
+		// Duplicate submission (client retry or resend after sync):
+		// acknowledge with the current state, do not reset the job.
+		// Re-reading the stored record is one charged lookup; the
+		// existence check itself rides on the insert's key conflict.
+		c.store.Get(m.Call)
+		c.afterDBCost(func() {
+			c.env.Send(from, &proto.SubmitAck{Call: m.Call, MaxSeq: c.maxSeq(m.Call.User, m.Call.Session)})
+		})
+		return
+	}
+	rec := &proto.JobRecord{
+		Call:       m.Call,
+		Service:    m.Service,
+		Params:     m.Params,
+		ExecTime:   m.ExecTime,
+		ResultSize: m.ResultSize,
+		State:      proto.TaskPending,
+	}
+	c.store.Put(rec)
+	c.persistJob(rec)
+	c.enqueue(m.Call)
+	c.markDirty(m.Call)
+	c.noteSeq(m.Call)
+	c.afterDBCost(func() {
+		c.jobsAccepted++
+		c.env.Send(from, &proto.SubmitAck{Call: m.Call, MaxSeq: c.maxSeq(m.Call.User, m.Call.Session)})
+	})
+}
+
+// maxSeq returns the indexed maximum timestamp known for a session.
+func (c *Coordinator) maxSeq(user proto.UserID, session proto.SessionID) proto.RPCSeq {
+	return c.sessionMax[sessionKey{user, session}]
+}
+
+func (c *Coordinator) handlePoll(from proto.NodeID, m *proto.Poll) {
+	have := make(map[proto.RPCSeq]bool, len(m.Have))
+	for _, s := range m.Have {
+		have[s] = true
+	}
+	var out []proto.Result
+	for _, rec := range c.store.Select(func(r *proto.JobRecord) bool {
+		return r.Call.User == m.User && r.Call.Session == m.Session &&
+			r.State == proto.TaskFinished && !have[r.Call.Seq]
+	}) {
+		out = append(out, proto.Result{
+			Call:   rec.Call,
+			Output: rec.Output,
+			Err:    rec.ResultErr,
+			Server: rec.Server,
+		})
+	}
+	c.afterDBCost(func() {
+		c.env.Send(from, &proto.Results{User: m.User, Session: m.Session, Results: out})
+	})
+}
+
+// handleFetchResult serves one per-entry pull of a client rebuilding
+// its state from the coordinator's logs. Each fetch is a charged
+// database read: the per-entry cost (plus the round trip) is what makes
+// this direction of figure 6 slower than the push direction.
+func (c *Coordinator) handleFetchResult(from proto.NodeID, m *proto.FetchResult) {
+	call := proto.CallID{User: m.User, Session: m.Session, Seq: m.Seq}
+	rec, ok := c.store.Get(call)
+	reply := &proto.FetchReply{Call: call, Known: ok}
+	if ok && rec.State == proto.TaskFinished {
+		reply.Finished = true
+		reply.Result = proto.Result{
+			Call:   call,
+			Output: rec.Output,
+			Err:    rec.ResultErr,
+			Server: rec.Server,
+		}
+	}
+	c.afterDBCost(func() { c.env.Send(from, reply) })
+}
+
+func (c *Coordinator) handleSyncRequest(from proto.NodeID, m *proto.SyncRequest) {
+	known := c.store.Select(func(r *proto.JobRecord) bool {
+		return r.Call.User == m.User && r.Call.Session == m.Session
+	})
+	seqs := make([]proto.RPCSeq, 0, len(known))
+	for _, rec := range known {
+		seqs = append(seqs, rec.Call.Seq)
+	}
+	// The reply always carries the exact list of known sequence
+	// numbers: the client's log may have holes *below* its maximum
+	// (a submission lost on the best-effort network), which a bare
+	// max-timestamp comparison cannot reveal.
+	reply := &proto.SyncReply{
+		User:    m.User,
+		Session: m.Session,
+		MaxSeq:  c.maxSeq(m.User, m.Session),
+		Known:   seqs,
+	}
+	c.afterDBCost(func() { c.env.Send(from, reply) })
+}
+
+// ---------------------------------------------------------------------
+// Server interactions
+// ---------------------------------------------------------------------
+
+func (c *Coordinator) handleHeartbeat(from proto.NodeID, m *proto.Heartbeat) {
+	switch m.Role {
+	case proto.RoleServer:
+		c.servers.Observe(from)
+	case proto.RoleCoordinator:
+		c.ring.Observe(from)
+		c.coords = statesync.MergeNodeLists(c.coords, []proto.NodeID{from})
+	}
+	ack := &proto.HeartbeatAck{From: c.env.Self(), Coordinators: c.coords}
+	if m.WantWork && m.Capacity > 0 {
+		limit := m.Capacity
+		if limit > c.cfg.MaxTasksPerAck {
+			limit = c.cfg.MaxTasksPerAck
+		}
+		ack.Tasks = c.assign(from, limit)
+	}
+	c.afterDBCost(func() { c.env.Send(from, ack) })
+}
+
+// handleHeartbeatAck processes a fellow coordinator's answer to a ring
+// heartbeat: a sign of life and a coordinator-list merge.
+func (c *Coordinator) handleHeartbeatAck(from proto.NodeID, m *proto.HeartbeatAck) {
+	c.ring.Observe(from)
+	if len(m.Coordinators) > 0 {
+		c.coords = statesync.MergeNodeLists(c.coords, m.Coordinators)
+	}
+}
+
+// assign pops up to limit pending jobs (FCFS) and binds them to server.
+func (c *Coordinator) assign(server proto.NodeID, limit int) []proto.TaskAssignment {
+	var out []proto.TaskAssignment
+	for limit > 0 && len(c.pendingQueue) > 0 {
+		call := c.pendingQueue[0]
+		c.pendingQueue = c.pendingQueue[1:]
+		delete(c.inQueue, call)
+		rec, ok := c.store.Peek(call)
+		if !ok || rec.State != proto.TaskPending {
+			continue // finished or vanished while queued
+		}
+		if rec.Params == nil && rec.Service == "" {
+			continue // placeholder learned via replication without data
+		}
+		rec.State = proto.TaskOngoing
+		rec.Instance++
+		rec.Server = server
+		c.store.Put(rec)
+		c.persistJob(rec)
+		task := proto.TaskID{Call: call, Instance: rec.Instance}
+		c.ongoing[call] = ongoingInfo{server: server, task: task, assignedAt: c.env.Now()}
+		if c.byServer[server] == nil {
+			c.byServer[server] = make(map[proto.CallID]bool)
+		}
+		c.byServer[server][call] = true
+		c.servers.Watch(server)
+		c.markDirty(call)
+		out = append(out, proto.TaskAssignment{
+			Task:       task,
+			Service:    rec.Service,
+			Params:     rec.Params,
+			ExecTime:   rec.ExecTime,
+			ResultSize: rec.ResultSize,
+		})
+		limit--
+	}
+	return out
+}
+
+func (c *Coordinator) handleTaskResult(from proto.NodeID, m *proto.TaskResult) {
+	c.servers.Observe(from)
+	rec, ok := c.store.Peek(m.Task.Call)
+	if !ok {
+		// Result for a job we never saw (e.g. we are a fresh replica):
+		// accept it — at-least-once semantics mean results are precious.
+		rec = &proto.JobRecord{Call: m.Task.Call, Instance: m.Task.Instance}
+	}
+	if rec.State == proto.TaskFinished {
+		c.dupResults++
+		c.env.Send(from, &proto.TaskResultAck{Task: m.Task})
+		return
+	}
+	rec.State = proto.TaskFinished
+	rec.Output = m.Output
+	rec.ResultErr = m.Err
+	rec.Server = from
+	c.store.Put(rec)
+	c.persistJob(rec)
+	c.noteSeq(rec.Call)
+	c.clearOngoing(m.Task.Call)
+	c.unqueue(m.Task.Call)
+	c.markDirty(m.Task.Call)
+	c.finished++
+	if c.cfg.OnJobFinished != nil {
+		c.cfg.OnJobFinished(m.Task.Call, c.env.Now())
+	}
+	c.afterDBCost(func() {
+		c.env.Send(from, &proto.TaskResultAck{Task: m.Task})
+	})
+}
+
+func (c *Coordinator) handleServerSync(from proto.NodeID, m *proto.ServerSync) {
+	c.servers.Observe(from)
+	resend, drop := statesync.TaskDiff(m.Tasks, func(call proto.CallID) bool {
+		rec, ok := c.store.Peek(call)
+		return !ok || rec.State != proto.TaskFinished
+	})
+
+	// Peer-wise comparison, coordinator side: any assignment we believe
+	// is ongoing at this server but that the server neither holds a
+	// result for nor is executing died with a previous incarnation
+	// (intermittent crash) — re-schedule it now instead of waiting for
+	// a suspicion that will never come.
+	alive := make(map[proto.TaskID]bool, len(m.Tasks)+len(m.Running))
+	for _, t := range m.Tasks {
+		alive[t] = true
+	}
+	for _, t := range m.Running {
+		alive[t] = true
+	}
+	grace := 3 * c.cfg.HeartbeatPeriod
+	for _, call := range sortedCalls(c.ongoing) {
+		info := c.ongoing[call]
+		if info.server != from || alive[info.task] {
+			continue
+		}
+		if c.env.Now().Sub(info.assignedAt) < grace {
+			// The assignment may still be in flight toward the server
+			// (it raced the sync); give it a few heartbeats.
+			continue
+		}
+		delete(c.ongoing, call)
+		if set := c.byServer[from]; set != nil {
+			delete(set, call)
+		}
+		rec, ok := c.store.Peek(call)
+		if !ok || rec.State != proto.TaskOngoing {
+			continue
+		}
+		rec.State = proto.TaskPending
+		c.store.Put(rec)
+		c.persistJob(rec)
+		c.enqueue(call)
+		c.markDirty(call)
+		c.rescheduled++
+	}
+
+	c.afterDBCost(func() {
+		c.env.Send(from, &proto.ServerSyncReply{Resend: resend, Drop: drop})
+	})
+}
+
+// onServerSuspected implements the "on suspicion" replication strategy:
+// schedule new instances of all RPC calls forwarded to the suspect.
+func (c *Coordinator) onServerSuspected(server proto.NodeID) {
+	calls := c.byServer[server]
+	if len(calls) == 0 {
+		return
+	}
+	c.env.Logf("coordinator: suspect server %s, rescheduling %d calls", server, len(calls))
+	for _, call := range sortedCalls(calls) {
+		info, ok := c.ongoing[call]
+		if !ok || info.server != server {
+			continue
+		}
+		delete(c.ongoing, call)
+		rec, ok := c.store.Peek(call)
+		if !ok || rec.State != proto.TaskOngoing {
+			continue
+		}
+		rec.State = proto.TaskPending
+		c.store.Put(rec)
+		c.persistJob(rec)
+		c.enqueue(call)
+		c.markDirty(call)
+		c.rescheduled++
+	}
+	delete(c.byServer, server)
+}
+
+func (c *Coordinator) clearOngoing(call proto.CallID) {
+	if info, ok := c.ongoing[call]; ok {
+		delete(c.ongoing, call)
+		if set := c.byServer[info.server]; set != nil {
+			delete(set, call)
+		}
+	}
+	delete(c.fromPredecessor, call)
+}
+
+func (c *Coordinator) enqueue(call proto.CallID) {
+	if c.inQueue[call] {
+		return
+	}
+	c.inQueue[call] = true
+	c.pendingQueue = append(c.pendingQueue, call)
+}
+
+func (c *Coordinator) unqueue(call proto.CallID) {
+	delete(c.inQueue, call)
+	// Lazy removal: assign() skips non-pending records.
+}
+
+// ---------------------------------------------------------------------
+// Passive replication (virtual ring)
+// ---------------------------------------------------------------------
+
+func (c *Coordinator) scheduleReplication() {
+	if c.cfg.ReplicationPeriod <= 0 {
+		return
+	}
+	c.replTimer = c.env.After(c.cfg.ReplicationPeriod, func() {
+		c.ReplicateNow()
+		c.scheduleReplication()
+	})
+}
+
+// ReplicateNow starts one replication round to the current ring
+// successor, if any and if no round is in flight. Exported so
+// experiment drivers can measure single rounds (figure 5).
+func (c *Coordinator) ReplicateNow() {
+	if c.replPending || c.stopped {
+		return
+	}
+	succ := c.Successor()
+	if succ == "" {
+		return
+	}
+	c.replRound++
+	update := &proto.ReplicaUpdate{From: c.env.Self(), Epoch: c.epoch, Round: c.replRound}
+	sessions := make(map[string]proto.SessionMax)
+	dirtyCalls := sortedCalls(c.dirty)
+	for _, call := range dirtyCalls {
+		rec, ok := c.store.Peek(call)
+		if !ok {
+			continue
+		}
+		clone := rec.Clone()
+		if len(clone.Params) > c.cfg.ReplicateParamsLimit {
+			// File archives are not replicated.
+			clone.Params = nil
+		}
+		update.Jobs = append(update.Jobs, *clone)
+		key := fmt.Sprintf("%s/%d", call.User, call.Session)
+		sm := sessions[key]
+		sm.User, sm.Session = call.User, call.Session
+		if call.Seq > sm.MaxSeq {
+			sm.MaxSeq = call.Seq
+		}
+		sessions[key] = sm
+	}
+	sessionKeys := make([]string, 0, len(sessions))
+	for k := range sessions {
+		sessionKeys = append(sessionKeys, k)
+	}
+	sort.Strings(sessionKeys)
+	for _, k := range sessionKeys {
+		update.MaxSeqs = append(update.MaxSeqs, sessions[k])
+	}
+	if len(update.Jobs) == 0 {
+		// Nothing dirty: send the (tiny) update anyway — it doubles as
+		// the ring heartbeat that keeps successors from suspecting us.
+		// Charge one DB scan.
+	}
+	c.inFlight = c.inFlight[:0]
+	for call := range c.dirty {
+		c.inFlight = append(c.inFlight, call)
+	}
+	c.replPending = true
+	c.replStart = c.env.Now()
+	c.successor = succ
+	c.afterDBCost(func() { c.env.Send(succ, update) })
+
+	// A round that never acks must not wedge replication forever: give
+	// up after the suspicion timeout (the ring monitor will also fire).
+	c.env.After(c.cfg.HeartbeatTimeout, func() {
+		if c.replPending && c.successor == succ {
+			c.replPending = false
+		}
+	})
+}
+
+func (c *Coordinator) handleReplicaUpdate(from proto.NodeID, m *proto.ReplicaUpdate) {
+	c.ring.Observe(from)
+	c.predecessor = from
+	c.coords = statesync.MergeNodeLists(c.coords, []proto.NodeID{from})
+	applied := 0
+	for i := range m.Jobs {
+		incoming := &m.Jobs[i]
+		local, ok := c.store.Peek(incoming.Call)
+		switch {
+		case ok && local.State == proto.TaskFinished:
+			// Finished tasks are never regressed.
+		case incoming.State == proto.TaskFinished:
+			rec := incoming.Clone()
+			c.store.Put(rec)
+			c.persistJob(rec)
+			c.noteSeq(rec.Call)
+			c.clearOngoing(rec.Call)
+			c.unqueue(rec.Call)
+			c.finished++
+			if c.cfg.OnJobFinished != nil {
+				c.cfg.OnJobFinished(rec.Call, c.env.Now())
+			}
+			applied++
+		case incoming.State == proto.TaskOngoing:
+			// Not scheduled until we suspect the predecessor.
+			rec := incoming.Clone()
+			if ok && local.Params != nil && rec.Params == nil {
+				rec.Params = local.Params
+			}
+			c.store.Put(rec)
+			c.persistJob(rec)
+			c.noteSeq(rec.Call)
+			c.fromPredecessor[rec.Call] = true
+			applied++
+		default: // pending
+			rec := incoming.Clone()
+			if ok && local.Params != nil && rec.Params == nil {
+				rec.Params = local.Params
+			}
+			c.store.Put(rec)
+			c.persistJob(rec)
+			c.noteSeq(rec.Call)
+			if !ok || local.State != proto.TaskOngoing {
+				c.enqueue(rec.Call)
+			}
+			applied++
+		}
+	}
+	c.afterDBCost(func() {
+		c.env.Send(from, &proto.ReplicaAck{From: c.env.Self(), Epoch: m.Epoch, Round: m.Round})
+	})
+}
+
+func (c *Coordinator) handleReplicaAck(from proto.NodeID, m *proto.ReplicaAck) {
+	c.ring.Observe(from)
+	if !c.replPending || from != c.successor || m.Epoch != c.epoch || m.Round != c.replRound {
+		return
+	}
+	c.replPending = false
+	c.lastReplDur = c.env.Now().Sub(c.replStart)
+	c.replRounds++
+	// The successor now holds exactly what the round carried; records
+	// dirtied since the round was sent stay dirty for the next one.
+	for _, call := range c.inFlight {
+		delete(c.dirty, call)
+	}
+	c.inFlight = c.inFlight[:0]
+}
+
+// onCoordinatorSuspected recomputes the topology to stay in the same
+// connected component: drop the suspect from the ring view and, if its
+// tasks were held back as "ongoing at predecessor", release them.
+func (c *Coordinator) onCoordinatorSuspected(id proto.NodeID) {
+	c.env.Logf("coordinator: suspect coordinator %s", id)
+	if c.replPending && id == c.successor {
+		c.replPending = false // the round is lost; next tick re-routes
+	}
+	if id == c.predecessor {
+		released := 0
+		for _, call := range sortedCalls(c.fromPredecessor) {
+			delete(c.fromPredecessor, call)
+			rec, ok := c.store.Peek(call)
+			if !ok || rec.State != proto.TaskOngoing {
+				continue
+			}
+			if rec.Service == "" && rec.Params == nil {
+				continue // no data to schedule from
+			}
+			rec.State = proto.TaskPending
+			c.store.Put(rec)
+			c.persistJob(rec)
+			c.enqueue(call)
+			c.markDirty(call)
+			released++
+		}
+		if released > 0 {
+			c.env.Logf("coordinator: released %d tasks of suspected predecessor %s", released, id)
+		}
+	}
+}
+
+// Successor returns this coordinator's current ring successor, skipping
+// suspected coordinators. Exported for tests and the topology ablation.
+func (c *Coordinator) Successor() proto.NodeID {
+	return statesync.Successor(c.env.Self(), c.coords, c.ring.Suspected)
+}
+
+func (c *Coordinator) markDirty(call proto.CallID) {
+	c.dirty[call] = true
+	// If a replication round is in flight and carried this record's
+	// previous state, the coming ack must not clear the new change:
+	// drop the call from the in-flight snapshot so it stays dirty and
+	// rides the next round (otherwise a record finishing mid-round
+	// would never replicate — a lost update).
+	if c.replPending {
+		for i, inflight := range c.inFlight {
+			if inflight == call {
+				c.inFlight[i] = c.inFlight[len(c.inFlight)-1]
+				c.inFlight = c.inFlight[:len(c.inFlight)-1]
+				break
+			}
+		}
+	}
+}
+
+// sortedCalls returns the map's keys ordered by CallID, so protocol
+// actions never depend on Go's randomized map iteration (determinism).
+func sortedCalls[V any](m map[proto.CallID]V) []proto.CallID {
+	out := make([]proto.CallID, 0, len(m))
+	for call := range m {
+		out = append(out, call)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Introspection (experiment and test hooks; event-loop only)
+// ---------------------------------------------------------------------
+
+// Stats is a snapshot of coordinator counters.
+type Stats struct {
+	JobsAccepted    int
+	SubmitsReceived int
+	Finished        int
+	Pending         int
+	Ongoing         int
+	DupResults      int
+	Rescheduled     int
+	ReplRounds      uint64
+	LastReplication time.Duration
+	Coordinators    int
+	KnownServers    int
+}
+
+// StatsNow returns the current counters. Event-loop only.
+func (c *Coordinator) StatsNow() Stats {
+	pending, ongoing := 0, 0
+	for _, rec := range c.store.PeekAll() {
+		switch rec.State {
+		case proto.TaskPending:
+			pending++
+		case proto.TaskOngoing:
+			ongoing++
+		}
+	}
+	return Stats{
+		JobsAccepted:    c.jobsAccepted,
+		SubmitsReceived: c.submitsReceived,
+		Finished:        c.finished,
+		Pending:         pending,
+		Ongoing:         ongoing,
+		DupResults:      c.dupResults,
+		Rescheduled:     c.rescheduled,
+		ReplRounds:      c.replRounds,
+		LastReplication: c.lastReplDur,
+		Coordinators:    len(c.coords),
+		KnownServers:    c.servers.Tracked(),
+	}
+}
+
+// FinishedCount returns the number of jobs first seen finished here.
+func (c *Coordinator) FinishedCount() int { return c.finished }
+
+// LastReplicationDuration returns the duration of the last completed
+// replication round (figure 5's measured quantity).
+func (c *Coordinator) LastReplicationDuration() time.Duration { return c.lastReplDur }
+
+// ReplicationInFlight reports whether a round is awaiting its ack.
+func (c *Coordinator) ReplicationInFlight() bool { return c.replPending }
+
+// DB exposes the task database (tests only).
+func (c *Coordinator) DB() *db.DB { return c.store }
+
+// KnownCoordinators returns the current merged coordinator list.
+func (c *Coordinator) KnownCoordinators() []proto.NodeID {
+	return append([]proto.NodeID(nil), c.coords...)
+}

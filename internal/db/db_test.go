@@ -1,0 +1,139 @@
+package db
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rpcv/internal/proto"
+)
+
+func rec(user string, seq int, state proto.TaskState) *proto.JobRecord {
+	return &proto.JobRecord{
+		Call:  proto.CallID{User: proto.UserID(user), Session: 1, Seq: proto.RPCSeq(seq)},
+		State: state,
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	d := New(ConfinedCost())
+	r := rec("u", 1, proto.TaskPending)
+	d.Put(r)
+	got, ok := d.Get(r.Call)
+	if !ok || got != r {
+		t.Fatal("Get after Put failed")
+	}
+	d.Delete(r.Call)
+	if _, ok := d.Get(r.Call); ok {
+		t.Fatal("Get after Delete succeeded")
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", d.Len())
+	}
+}
+
+func TestPeekDoesNotCharge(t *testing.T) {
+	d := New(ConfinedCost())
+	d.Put(rec("u", 1, proto.TaskPending))
+	d.DrainCost()
+	ops := d.Ops()
+	d.Peek(proto.CallID{User: "u", Session: 1, Seq: 1})
+	d.PeekAll()
+	if d.Ops() != ops {
+		t.Fatal("Peek/PeekAll charged operations")
+	}
+	if d.DrainCost() != 0 {
+		t.Fatal("Peek/PeekAll accumulated cost")
+	}
+}
+
+func TestCostAccumulatesAndDrains(t *testing.T) {
+	cost := CostModel{PerOp: time.Millisecond, PerByte: 0}
+	d := New(cost)
+	for i := 0; i < 5; i++ {
+		d.Put(rec("u", i+1, proto.TaskPending))
+	}
+	if got := d.DrainCost(); got != 5*time.Millisecond {
+		t.Fatalf("drained %v, want 5ms", got)
+	}
+	if got := d.DrainCost(); got != 0 {
+		t.Fatalf("second drain %v, want 0", got)
+	}
+}
+
+func TestCostScalesWithPayload(t *testing.T) {
+	cost := CostModel{PerOp: time.Millisecond, PerByte: time.Microsecond}
+	d := New(cost)
+	r := rec("u", 1, proto.TaskPending)
+	r.Params = make([]byte, 1000)
+	d.Put(r)
+	if got := d.DrainCost(); got != time.Millisecond+1000*time.Microsecond {
+		t.Fatalf("drained %v, want 2ms", got)
+	}
+}
+
+func TestAllSortedByCallID(t *testing.T) {
+	d := New(ConfinedCost())
+	d.Put(rec("b", 2, proto.TaskPending))
+	d.Put(rec("a", 9, proto.TaskPending))
+	d.Put(rec("a", 1, proto.TaskPending))
+	all := d.All()
+	if len(all) != 3 {
+		t.Fatalf("All returned %d records", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if !all[i-1].Call.Less(all[i].Call) {
+			t.Fatalf("All not sorted: %v before %v", all[i-1].Call, all[i].Call)
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	d := New(ConfinedCost())
+	d.Put(rec("u", 1, proto.TaskPending))
+	d.Put(rec("u", 2, proto.TaskFinished))
+	d.Put(rec("u", 3, proto.TaskFinished))
+	got := d.Select(func(r *proto.JobRecord) bool { return r.State == proto.TaskFinished })
+	if len(got) != 2 {
+		t.Fatalf("Select returned %d, want 2", len(got))
+	}
+}
+
+func TestRealLifeFasterThanConfined(t *testing.T) {
+	// The paper's real-life coordinators had faster databases.
+	if RealLifeCost().Cost(300) >= ConfinedCost().Cost(300) {
+		t.Fatal("real-life DB not faster than confined")
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	d := New(ConfinedCost())
+	r1 := rec("u", 1, proto.TaskPending)
+	d.Put(r1)
+	r2 := rec("u", 1, proto.TaskFinished)
+	d.Put(r2)
+	got, _ := d.Peek(r1.Call)
+	if got.State != proto.TaskFinished || d.Len() != 1 {
+		t.Fatal("Put did not replace in place")
+	}
+}
+
+func TestOpsCountQuick(t *testing.T) {
+	// Property: Ops equals the number of charged operations performed.
+	f := func(puts, gets, deletes uint8) bool {
+		d := New(CostModel{PerOp: time.Microsecond})
+		for i := 0; i < int(puts); i++ {
+			d.Put(rec("u", i, proto.TaskPending))
+		}
+		for i := 0; i < int(gets); i++ {
+			d.Get(proto.CallID{User: "u", Session: 1, Seq: proto.RPCSeq(i)})
+		}
+		for i := 0; i < int(deletes); i++ {
+			d.Delete(proto.CallID{User: "u", Session: 1, Seq: proto.RPCSeq(i)})
+		}
+		return d.Ops() == uint64(puts)+uint64(gets)+uint64(deletes)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

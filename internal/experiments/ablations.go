@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"time"
+
+	"rpcv/internal/cluster"
+	"rpcv/internal/faultgen"
+	"rpcv/internal/metrics"
+	"rpcv/internal/msglog"
+	"rpcv/internal/proto"
+)
+
+// AblationHeartbeat explores the heartbeat-period / suspicion-timeout
+// trade-off the paper mentions ("adjusted considering the trade-off
+// between Coordinator reactivity and congestion"): the figure 7
+// benchmark at a fixed server-fault rate, swept over heartbeat periods
+// with suspicion fixed at 6x the period. Short periods detect faults
+// fast but multiply message traffic; long ones starve the scheduler.
+func AblationHeartbeat(opts Options) Result {
+	opts.applyDefaults()
+	periods := []time.Duration{time.Second, 2 * time.Second, 5 * time.Second,
+		15 * time.Second, 30 * time.Second}
+	if opts.Quick {
+		periods = []time.Duration{time.Second, 5 * time.Second, 15 * time.Second}
+	}
+	table := metrics.NewTable(
+		"Ablation: heartbeat period vs execution time and traffic (96 x 10s RPCs, 4 faults/min on servers)",
+		"period", "suspicion", "exec-time", "messages")
+	for _, period := range periods {
+		cl := cluster.New(cluster.Config{
+			Seed:              opts.Seed,
+			Coordinators:      2,
+			Servers:           16,
+			Clients:           1,
+			HeartbeatPeriod:   period,
+			SuspicionTimeout:  6 * period,
+			ReplicationPeriod: 10 * time.Second,
+		})
+		gen := faultgen.New(cl.World)
+		gen.Poisson(cl.ServerIDs, 4*time.Minute, 5*time.Second) // 16/4min = 4 faults/min total
+		start := cl.World.Now()
+		cl.SubmitBatch(0, 96, "synthetic", 300, 10*time.Second, 64)
+		done := cl.RunUntilResults(0, 96, 2*time.Hour)
+		gen.Stop()
+		elapsed := cl.World.Now().Sub(start)
+		if !done {
+			elapsed = 2 * time.Hour
+		}
+		delivered, _ := cl.World.Stats()
+		table.AddRow(period, 6*period, elapsed, delivered)
+	}
+	return Result{Name: "ablation-heartbeat", Tables: []*metrics.Table{table}}
+}
+
+// AblationReplicationPeriod sweeps the passive-replication period of
+// the figure 9 scenario and reports the replica's staleness: the mean
+// gap between the primary's and the backup's completed-task counters.
+// Short periods keep the backup fresh at the price of more ring
+// traffic; 60 s is the paper's real-life choice.
+func AblationReplicationPeriod(opts Options) Result {
+	opts.applyDefaults()
+	periods := []time.Duration{15 * time.Second, 60 * time.Second, 240 * time.Second}
+	table := metrics.NewTable(
+		"Ablation: replication period vs replica staleness (Alcatel workload)",
+		"period", "mean-gap(tasks)", "max-gap(tasks)", "rounds")
+	for _, period := range periods {
+		r := newRealLifeWithReplication(opts, period)
+		r.submitAlcatel(opts.Seed)
+		r.sampleEveryMinute()
+		r.runUntilClientDone(12 * time.Hour)
+		var sum, max float64
+		n := 0
+		for i := range r.lilleS.Points {
+			gap := r.lilleS.Points[i].Value - r.lriS.Points[i].Value
+			if gap < 0 {
+				gap = 0
+			}
+			sum += gap
+			if gap > max {
+				max = gap
+			}
+			n++
+		}
+		mean := 0.0
+		if n > 0 {
+			mean = sum / float64(n)
+		}
+		rounds := r.cl.Coordinator(0).StatsNow().ReplRounds
+		table.AddRow(period, mean, max, rounds)
+	}
+	return Result{Name: "ablation-replication", Tables: []*metrics.Table{table}}
+}
+
+// newRealLifeWithReplication is newRealLife with a custom period.
+func newRealLifeWithReplication(opts Options, period time.Duration) *realLife {
+	saved := realLifeReplicationOverride
+	realLifeReplicationOverride = period
+	defer func() { realLifeReplicationOverride = saved }()
+	return newRealLife(opts)
+}
+
+// AblationRecovery compares the three logging strategies on the
+// paper's double-crash scenario: client and coordinator crash together
+// (§5.1, Message Logging: "When both have crashed, all logs have been
+// lost in the optimistic protocol").
+//
+// The decisive metric is *silent loss*: calls the application saw
+// complete before the crash that no component can recover afterwards.
+// Pessimistic logging (either flavour) never completes a call before
+// its log entry is durable, so silent loss is structurally zero; the
+// optimistic protocol completes on acknowledgement while the flush
+// still lags, so the unflushed suffix of completed calls vanishes.
+func AblationRecovery(opts Options) Result {
+	opts.applyDefaults()
+	const calls = 32
+	table := metrics.NewTable(
+		"Ablation: double crash (client+coordinator) recovery by logging strategy (32 calls)",
+		"strategy", "completed-pre-crash", "recovered", "silently-lost", "recovery-time")
+	for _, strat := range []msglog.Strategy{
+		msglog.Optimistic, msglog.NonBlockingPessimistic, msglog.BlockingPessimistic,
+	} {
+		r := doubleCrashRecovery(opts.Seed, strat, calls)
+		table.AddRow(strat.String(), r.completed, r.recovered, r.lost, r.dur)
+	}
+	return Result{Name: "ablation-recovery", Tables: []*metrics.Table{table}}
+}
+
+type recoveryOutcome struct {
+	completed int // submissions the application saw complete pre-crash
+	recovered int // jobs present on the coordinator after resync
+	lost      int // completed pre-crash but unrecoverable (silent loss)
+	dur       time.Duration
+}
+
+func doubleCrashRecovery(seed int64, strat msglog.Strategy, calls int) recoveryOutcome {
+	completedSeqs := make(map[proto.RPCSeq]bool)
+	cl := cluster.New(cluster.Config{
+		Seed:         seed,
+		Coordinators: 1,
+		Servers:      0, // no execution; we time state recovery only
+		Clients:      1,
+		Logging:      strat,
+		OnSubmitComplete: func(_ proto.NodeID, seq proto.RPCSeq, _, _ time.Time) {
+			completedSeqs[seq] = true
+		},
+	})
+	cl.SubmitBatch(0, calls, "synthetic", 300, time.Second, 32)
+	// Crash both mid-stream: some submissions completed, the optimistic
+	// flush trails behind the acknowledgements.
+	cl.World.RunFor(60 * time.Millisecond)
+	cl.World.Crash(cluster.ClientID(0))
+	cl.World.Crash(cluster.CoordinatorID(0))
+	cl.World.WipeDisk(cluster.CoordinatorID(0)) // total coordinator loss
+	preCrashCompleted := make(map[proto.RPCSeq]bool, len(completedSeqs))
+	for s := range completedSeqs {
+		preCrashCompleted[s] = true
+	}
+
+	// The surviving client log bounds what synchronization can rebuild.
+	survivors := len(cl.World.Disk(cluster.ClientID(0)).Keys("client/submit/"))
+
+	start := cl.World.Now()
+	cl.World.Start(cluster.CoordinatorID(0))
+	cl.World.Start(cluster.ClientID(0))
+	co := cl.Coordinator(0)
+	cl.World.RunUntil(func() bool {
+		return co.StatsNow().JobsAccepted >= survivors
+	}, start.Add(10*time.Minute))
+
+	out := recoveryOutcome{
+		completed: len(preCrashCompleted),
+		recovered: co.StatsNow().JobsAccepted,
+		dur:       cl.World.Now().Sub(start),
+	}
+	for seq := range preCrashCompleted {
+		if _, ok := co.DB().Peek(proto.CallID{User: "user-00", Session: 1, Seq: seq}); !ok {
+			out.lost++
+		}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"time"
+
+	"rpcv/internal/cluster"
+	"rpcv/internal/faultgen"
+	"rpcv/internal/metrics"
+)
+
+// Fig7 regenerates figure 7 (Benchmark Execution Time According to
+// Fault Frequency): 1 client submits 96 RPCs of 10 s each to 4
+// coordinators (only the preferred one receives them) executed by 16
+// servers — ideal time 60 s (6 rounds of 16 parallel RPCs). Every node
+// of the chosen kind runs a fault generator killing it with the given
+// per-node fault frequency (Poisson; the victim restarts after a short
+// downtime, so the population stays constant). As in the paper, the
+// per-node rate means the 16-server configuration suffers 4x the total
+// faults of the 4-coordinator one.
+//
+// Expected shape: both curves grow with fault frequency; server faults
+// hurt far more than coordinator faults (lost task executions dominate,
+// and the computing population outnumbers the infrastructure one); the
+// server curve approaches the no-progress asymptote as the per-node
+// fault period nears the 10 s task duration.
+func Fig7(opts Options) Result {
+	opts.applyDefaults()
+
+	rates := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if opts.Quick {
+		rates = []float64{0, 2, 6, 10}
+	}
+
+	table := metrics.NewTable(
+		"Figure 7: benchmark execution time vs fault frequency (96 x 10s RPCs, 16 servers, 4 coordinators)",
+		"faults/min", "faulty-servers", "faulty-coordinators")
+	for _, rate := range rates {
+		serverTime := faultRun(opts.Seed, rate, true)
+		coordTime := faultRun(opts.Seed, rate, false)
+		table.AddRow(rate, serverTime, coordTime)
+	}
+	return Result{Name: "fig7", Tables: []*metrics.Table{table}}
+}
+
+// faultRun executes the figure 7 benchmark once and returns the
+// completion time of all 96 calls (capped at 4 virtual hours).
+func faultRun(seed int64, faultsPerMinute float64, faultServers bool) time.Duration {
+	const (
+		calls    = 96
+		servers  = 16
+		coords   = 4
+		taskTime = 10 * time.Second
+		downtime = 5 * time.Second
+	)
+	cl := cluster.New(cluster.Config{
+		Seed:         seed,
+		Coordinators: coords,
+		Servers:      servers,
+		Clients:      1,
+		// Replication lets surviving coordinators pick up for killed
+		// ones, as in the paper's full-system fault test.
+		ReplicationPeriod: 10 * time.Second,
+	})
+	gen := faultgen.New(cl.World)
+	if faultsPerMinute > 0 {
+		var targets = cl.ServerIDs
+		if !faultServers {
+			targets = cl.CoordinatorIDs
+		}
+		// Per-node fault frequency: MTBF = 1/rate minutes for every
+		// node of the chosen kind, faults independent across nodes.
+		perNodeMTBF := time.Duration(float64(time.Minute) / faultsPerMinute)
+		gen.Poisson(targets, perNodeMTBF, downtime)
+	}
+
+	start := cl.World.Now()
+	cl.SubmitBatch(0, calls, "synthetic", 300, taskTime, 64)
+	const cap = 2 * time.Hour
+	done := cl.RunUntilResults(0, calls, cap)
+	gen.Stop()
+	if !done {
+		return cap // saturated: no progress within the cap
+	}
+	return cl.World.Now().Sub(start)
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"time"
+
+	"rpcv/internal/metrics"
+	"rpcv/internal/workload"
+)
+
+// Fig8 regenerates figure 8 (Distribution of Tasks Durations in the
+// Alcatel Application): the histogram of the 1000-task duration mix
+// used by the real-life experiments. The proprietary binary is
+// substituted by workload.Alcatel, whose mixture reproduces the
+// figure's shape: a dominant short-task mass with a long right tail
+// (durations varying in a wide range).
+func Fig8(opts Options) Result {
+	opts.applyDefaults()
+
+	tasks := 1000
+	if opts.Quick {
+		tasks = 200
+	}
+	calls := workload.Alcatel(workload.AlcatelConfig{Tasks: tasks, Seed: opts.Seed})
+
+	const width = 30 * time.Second
+	const buckets = 24
+	bounds, counts := workload.DurationHistogram(calls, width, buckets)
+
+	hist := metrics.NewTable(
+		"Figure 8: distribution of task durations (Alcatel application)",
+		"duration<=", "tasks", "bar")
+	for i, b := range bounds {
+		hist.AddRow(b, counts[i], bar(counts[i], maxInt(counts)))
+	}
+
+	st := workload.Summarize(calls)
+	summary := metrics.NewTable("Figure 8: summary statistics",
+		"tasks", "min", "median", "mean", "p90", "max", "total-cpu")
+	summary.AddRow(st.Count, st.Min, st.Median, st.Mean, st.P90, st.Max, st.Total)
+
+	return Result{Name: "fig8", Tables: []*metrics.Table{hist, summary}}
+}
+
+func maxInt(xs []int) int {
+	m := 0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// bar renders a proportional ASCII bar (max 40 chars).
+func bar(v, max int) string {
+	if max == 0 {
+		return ""
+	}
+	n := v * 40 / max
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"time"
+
+	"rpcv/internal/cluster"
+	"rpcv/internal/db"
+	"rpcv/internal/faultgen"
+	"rpcv/internal/metrics"
+	"rpcv/internal/netmodel"
+	"rpcv/internal/proto"
+	"rpcv/internal/workload"
+)
+
+// realLife assembles the paper's Internet testbed: two dedicated
+// coordinators — "Lille" (coord-00, the primary all components prefer)
+// and "LRI" (coord-01, the passive replica ~300 km away) — plus a
+// population of desktop workers spread across the WAN, one client, the
+// 1000-task Alcatel workload and a 60 s replication period.
+type realLife struct {
+	cl      *cluster.Cluster
+	lille   proto.NodeID
+	lri     proto.NodeID
+	tasks   int
+	start   time.Time
+	lilleS  *metrics.Series
+	lriS    *metrics.Series
+	clientS *metrics.Series
+}
+
+const realLifeReplication = 60 * time.Second
+
+// realLifeReplicationOverride, when non-zero, replaces the default
+// replication period (the replication-period ablation uses it).
+var realLifeReplicationOverride time.Duration
+
+func newRealLife(opts Options) *realLife {
+	tasks := 1000
+	servers := 120
+	if opts.Quick {
+		tasks = 150
+		servers = 40
+	}
+	net := netmodel.Internet(opts.Seed)
+	net.SetClass(cluster.CoordinatorID(0), netmodel.CoordinatorClass())
+	net.SetClass(cluster.CoordinatorID(1), netmodel.CoordinatorClass())
+
+	replPeriod := realLifeReplication
+	if realLifeReplicationOverride > 0 {
+		replPeriod = realLifeReplicationOverride
+	}
+
+	cl := cluster.New(cluster.Config{
+		Seed:              opts.Seed,
+		Coordinators:      2,
+		Servers:           servers,
+		Clients:           1,
+		Net:               net,
+		DBCost:            db.RealLifeCost(),
+		ReplicationPeriod: replPeriod,
+		PollPeriod:        5 * time.Second,
+		MaxTasksPerAck:    2,
+	})
+	r := &realLife{
+		cl:      cl,
+		lille:   cluster.CoordinatorID(0),
+		lri:     cluster.CoordinatorID(1),
+		tasks:   tasks,
+		lilleS:  &metrics.Series{Name: "lille"},
+		lriS:    &metrics.Series{Name: "lri"},
+		clientS: &metrics.Series{Name: "client"},
+	}
+	return r
+}
+
+// submitAlcatel schedules the whole task list from the single client.
+func (r *realLife) submitAlcatel(seed int64) {
+	calls := workload.Alcatel(workload.AlcatelConfig{Tasks: r.tasks, Seed: seed})
+	cli := r.cl.Client(0)
+	r.cl.World.Schedule(0, func() {
+		for _, c := range calls {
+			params := make([]byte, c.ParamSize)
+			cli.Submit(c.Service, params, c.ExecTime, c.ResultSize)
+		}
+	})
+}
+
+// sampleEveryMinute records each coordinator's completed-task counter
+// (the y-axis of figures 9-11) once per virtual minute.
+func (r *realLife) sampleEveryMinute() {
+	r.start = r.cl.World.Now()
+	var tick func()
+	tick = func() {
+		r.sampleNow()
+		r.cl.World.Schedule(time.Minute, tick)
+	}
+	r.cl.World.Schedule(time.Minute, tick)
+}
+
+// sampleNow appends one sample to every series.
+func (r *realLife) sampleNow() {
+	at := r.cl.World.Now().Sub(r.start)
+	r.lilleS.Add(at, float64(r.coordFinished(r.lille)))
+	r.lriS.Add(at, float64(r.coordFinished(r.lri)))
+	r.clientS.Add(at, float64(r.cl.Client(0).ResultCount()))
+}
+
+func (r *realLife) coordFinished(id proto.NodeID) int {
+	if !r.cl.World.IsUp(id) {
+		// A crashed coordinator reports its last known value: the plot
+		// keeps the curve flat during the outage, as the paper's does.
+		switch id {
+		case r.lille:
+			return int(r.lilleS.Last())
+		default:
+			return int(r.lriS.Last())
+		}
+	}
+	return r.cl.Coordinators[id].FinishedCount()
+}
+
+// runUntilClientDone advances until the client holds every result, then
+// records the final sample so the series reflect the terminal state.
+func (r *realLife) runUntilClientDone(cap time.Duration) bool {
+	ok := r.cl.RunUntilResults(0, r.tasks, cap)
+	r.sampleNow()
+	return ok
+}
+
+// seriesTable renders the per-minute series side by side.
+func (r *realLife) seriesTable(title string) *metrics.Table {
+	t := metrics.NewTable(title, "minute", "lille", "lri", "client")
+	for i := range r.lilleS.Points {
+		minute := int(r.lilleS.Points[i].At / time.Minute)
+		lri, client := 0.0, 0.0
+		if i < len(r.lriS.Points) {
+			lri = r.lriS.Points[i].Value
+		}
+		if i < len(r.clientS.Points) {
+			client = r.clientS.Points[i].Value
+		}
+		t.AddRow(minute, int(r.lilleS.Points[i].Value), int(lri), int(client))
+	}
+	return t
+}
+
+// Fig9 regenerates figure 9 (Reference Execution without Fault): the
+// Alcatel run with both coordinators alive. Lille receives every result
+// directly; LRI trails it in 60 s plateaux — the discrete nature of
+// passive replication.
+func Fig9(opts Options) Result {
+	opts.applyDefaults()
+	r := newRealLife(opts)
+	r.submitAlcatel(opts.Seed)
+	r.sampleEveryMinute()
+	r.runUntilClientDone(12 * time.Hour)
+	return Result{
+		Name:   "fig9",
+		Tables: []*metrics.Table{r.seriesTable("Figure 9: reference execution without fault (completed tasks per minute)")},
+		Series: []*metrics.Series{r.lilleS, r.lriS, r.clientS},
+	}
+}
+
+// Fig10 regenerates figure 10 (Execution with Two Consecutive
+// Coordinator Faults), reproducing the labelled sequence:
+//
+//	(1) both coordinators start;
+//	(2) Lille is killed when ~400 tasks have completed;
+//	(4) servers suspect Lille and fail over, LRI starts receiving
+//	    results, (5) catches up past Lille's last count;
+//	(6) Lille restarts once the population switched to LRI;
+//	(7) LRI's replication brings Lille back near its state;
+//	(8) LRI is killed; (9) client and servers fail back to Lille;
+//	(10) the run terminates on Lille.
+func Fig10(opts Options) Result {
+	opts.applyDefaults()
+	r := newRealLife(opts)
+	r.submitAlcatel(opts.Seed)
+	r.sampleEveryMinute()
+
+	killAt := int(0.4 * float64(r.tasks))
+	secondKillAt := int(0.75 * float64(r.tasks))
+	gen := faultgen.New(r.cl.World)
+	lilleCo := r.cl.Coordinators[r.lille]
+	lriCo := r.cl.Coordinators[r.lri]
+	gen.Script([]faultgen.Action{
+		{
+			// (2) stop Lille when ~40% of tasks are completed there.
+			When: func() bool { return lilleCo.FinishedCount() >= killAt },
+			Kill: r.lille,
+			Then: func() {
+				// (6) restart Lille after the population has switched:
+				// two suspicion timeouts later.
+				r.cl.World.Schedule(90*time.Second, func() { gen.Restart(r.lille) })
+			},
+		},
+		{
+			// (8) stop LRI once the run has progressed well past the
+			// first fault and Lille has resynchronized via replication.
+			When: func() bool {
+				return r.cl.World.IsUp(r.lille) &&
+					lriCo.FinishedCount() >= secondKillAt &&
+					lilleCo.FinishedCount() >= secondKillAt-100
+			},
+			Kill: r.lri,
+		},
+	})
+
+	completed := r.runUntilClientDone(24 * time.Hour)
+	_ = completed
+	return Result{
+		Name:   "fig10",
+		Tables: []*metrics.Table{r.seriesTable("Figure 10: execution with two consecutive coordinator faults")},
+		Series: []*metrics.Series{r.lilleS, r.lriS, r.clientS},
+	}
+}
+
+// Fig11 regenerates figure 11 (Execution Under a Suspected Partitioned
+// Environment): the servers cannot see Lille (and so suspect it and
+// attach to LRI), the client is forced to submit to Lille, and the two
+// coordinators still see each other. Tasks and results flow client →
+// Lille → (replication) → LRI → servers → LRI → (replication) → Lille →
+// client: the system copes with inconsistent views as long as a path
+// exists between client and servers.
+func Fig11(opts Options) Result {
+	opts.applyDefaults()
+	r := newRealLife(opts)
+
+	// Hide Lille from every server (both directions: their heartbeats
+	// vanish and so would any reply).
+	for _, sv := range r.cl.ServerIDs {
+		r.cl.Net.BlockBoth(sv, r.lille)
+	}
+	// Force the client to Lille and hide LRI from it so it never fails
+	// over (the paper forces the client's submissions to Lille).
+	cli := r.cl.Client(0)
+	r.cl.World.Schedule(0, func() { cli.ForcePreferred(r.lille) })
+	r.cl.Net.BlockBoth(cluster.ClientID(0), r.lri)
+
+	r.submitAlcatel(opts.Seed)
+	r.sampleEveryMinute()
+	r.runUntilClientDone(24 * time.Hour)
+	return Result{
+		Name:   "fig11",
+		Tables: []*metrics.Table{r.seriesTable("Figure 11: execution under a suspected partitioned environment")},
+		Series: []*metrics.Series{r.lilleS, r.lriS, r.clientS},
+	}
+}

@@ -1,0 +1,140 @@
+package faultgen
+
+import (
+	"testing"
+	"time"
+
+	"rpcv/internal/node"
+	"rpcv/internal/proto"
+	"rpcv/internal/sim"
+)
+
+type noop struct{}
+
+func (noop) Start(node.Env)                      {}
+func (noop) Receive(proto.NodeID, proto.Message) {}
+func (noop) Stop()                               {}
+
+func world(n int) (*sim.World, []proto.NodeID) {
+	w := sim.NewWorld(sim.Config{Seed: 77})
+	var ids []proto.NodeID
+	for i := 0; i < n; i++ {
+		id := proto.NodeID(rune('a' + i))
+		w.AddNode(id, noop{})
+		w.Start(id)
+		ids = append(ids, id)
+	}
+	return w, ids
+}
+
+func TestKillAndRestart(t *testing.T) {
+	w, ids := world(1)
+	g := New(w)
+	g.Kill(ids[0])
+	if w.IsUp(ids[0]) {
+		t.Fatal("victim still up")
+	}
+	g.Restart(ids[0])
+	if !w.IsUp(ids[0]) {
+		t.Fatal("victim not restarted")
+	}
+	if g.Kills() != 1 || g.Restarts() != 1 {
+		t.Fatalf("counters = %d/%d", g.Kills(), g.Restarts())
+	}
+}
+
+func TestPoissonRateRoughlyMatches(t *testing.T) {
+	w, ids := world(4)
+	g := New(w)
+	// 4 nodes, MTBF 1 min each => ~4 faults/min aggregate.
+	g.Poisson(ids, time.Minute, time.Second)
+	w.RunFor(30 * time.Minute)
+	g.Stop()
+	want := 120 // 4/min * 30 min
+	if g.Kills() < want/2 || g.Kills() > want*2 {
+		t.Fatalf("kills = %d over 30 min, want ~%d", g.Kills(), want)
+	}
+	// Population restored: victims restart after downtime.
+	w.RunFor(time.Minute)
+	for _, id := range ids {
+		if !w.IsUp(id) {
+			t.Fatalf("node %s left dead", id)
+		}
+	}
+}
+
+func TestPoissonStop(t *testing.T) {
+	w, ids := world(2)
+	g := New(w)
+	g.Poisson(ids, 10*time.Second, time.Second)
+	w.RunFor(5 * time.Minute)
+	g.Stop()
+	n := g.Kills()
+	w.RunFor(30 * time.Minute)
+	if g.Kills() != n {
+		t.Fatalf("kills after Stop: %d -> %d", n, g.Kills())
+	}
+}
+
+func TestPeriodic(t *testing.T) {
+	w, ids := world(1)
+	g := New(w)
+	g.Periodic(ids[0], time.Minute, 5*time.Second)
+	w.RunFor(10*time.Minute + time.Second)
+	g.Stop()
+	if g.Kills() != 10 {
+		t.Fatalf("kills = %d in 10 min, want 10", g.Kills())
+	}
+}
+
+func TestScriptTimedActions(t *testing.T) {
+	w, ids := world(2)
+	g := New(w)
+	var order []string
+	g.Script([]Action{
+		{After: 2 * time.Minute, Kill: ids[1], Then: func() { order = append(order, "kill-b") }},
+		{After: time.Minute, Kill: ids[0], Then: func() { order = append(order, "kill-a") }},
+		{After: 3 * time.Minute, Start: ids[0], Then: func() { order = append(order, "start-a") }},
+	})
+	w.RunFor(5 * time.Minute)
+	if len(order) != 3 || order[0] != "kill-a" || order[1] != "kill-b" || order[2] != "start-a" {
+		t.Fatalf("order = %v", order)
+	}
+	if !w.IsUp(ids[0]) || w.IsUp(ids[1]) {
+		t.Fatal("final liveness wrong")
+	}
+}
+
+func TestScriptPredicateDefersAction(t *testing.T) {
+	w, ids := world(1)
+	g := New(w)
+	ready := false
+	w.Schedule(90*time.Second, func() { ready = true })
+	g.Script([]Action{{
+		When: func() bool { return ready },
+		Poll: time.Second,
+		Kill: ids[0],
+	}})
+	w.RunFor(80 * time.Second)
+	if !w.IsUp(ids[0]) {
+		t.Fatal("predicate action fired early")
+	}
+	w.RunFor(20 * time.Second)
+	if w.IsUp(ids[0]) {
+		t.Fatal("predicate action never fired")
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	// Average of many exponential samples approaches the mean.
+	w, _ := world(1)
+	var total time.Duration
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		total += exponential(w.Rand().Float64(), time.Minute)
+	}
+	mean := total / n
+	if mean < 50*time.Second || mean > 70*time.Second {
+		t.Fatalf("sample mean %v, want ~1m", mean)
+	}
+}

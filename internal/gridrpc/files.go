@@ -1,0 +1,96 @@
+package gridrpc
+
+import (
+	"context"
+	"fmt"
+
+	"rpcv/internal/archive"
+	"rpcv/internal/server"
+)
+
+// This file implements the paper's second data communication mode:
+// "file transport where a file or a directory is compressed into an
+// archive file" (§2.1). CallFiles ships a set of named files as the
+// call parameters; the service receives them unpacked and returns a set
+// of output files (the archive of new or modified files of §4.2),
+// which Wait returns decoded.
+
+// Files is a named file set moved through an RPC call.
+type Files map[string][]byte
+
+// CallFilesAsync submits a non-blocking call whose parameters are a
+// compressed file archive.
+func (s *Session) CallFilesAsync(service string, files Files) (*FileHandle, error) {
+	a := archive.New()
+	for name, payload := range files {
+		a.Add(name, payload)
+	}
+	enc, err := a.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("gridrpc: pack: %w", err)
+	}
+	h, err := s.CallAsync(service, enc)
+	if err != nil {
+		return nil, err
+	}
+	return &FileHandle{Handle: h}, nil
+}
+
+// CallFiles is the blocking variant of CallFilesAsync.
+func (s *Session) CallFiles(ctx context.Context, service string, files Files) (Files, error) {
+	h, err := s.CallFilesAsync(service, files)
+	if err != nil {
+		return nil, err
+	}
+	return h.WaitFiles(ctx)
+}
+
+// FileHandle tracks one asynchronous file-transport call.
+type FileHandle struct {
+	*Handle
+}
+
+// WaitFiles waits for the call and decodes the result archive.
+func (h *FileHandle) WaitFiles(ctx context.Context) (Files, error) {
+	raw, err := h.Wait(ctx)
+	if err != nil {
+		return nil, err
+	}
+	a, err := archive.Decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("gridrpc: unpack result: %w", err)
+	}
+	out := make(Files, a.Len())
+	for _, name := range a.Names() {
+		payload, _ := a.Get(name)
+		out[name] = payload
+	}
+	return out, nil
+}
+
+// FileService adapts a function over file sets into a server.Service:
+// the worker-side half of the file transport mode. The adapted service
+// stays stateless — re-executing it on the same archive is harmless,
+// per RPC-V's at-least-once semantics.
+func FileService(fn func(in Files) (Files, error)) server.Service {
+	return func(params []byte) ([]byte, error) {
+		a, err := archive.Decode(params)
+		if err != nil {
+			return nil, fmt.Errorf("file service: unpack params: %w", err)
+		}
+		in := make(Files, a.Len())
+		for _, name := range a.Names() {
+			payload, _ := a.Get(name)
+			in[name] = payload
+		}
+		out, err := fn(in)
+		if err != nil {
+			return nil, err
+		}
+		res := archive.New()
+		for name, payload := range out {
+			res.Add(name, payload)
+		}
+		return res.Encode()
+	}
+}

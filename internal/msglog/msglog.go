@@ -1,0 +1,236 @@
+// Package msglog implements RPC-V's sender-based message logging.
+//
+// Every component locally logs every sent message; on each
+// communication, components synchronize their local state from these
+// logs (paper §4.1, "Preventive Actions"). The log is the only recovery
+// mechanism in the system — there is no reliable storage and no
+// coordinated checkpointing.
+//
+// Three strategies are compared in the paper (figure 4):
+//
+//   - Optimistic: logging runs asynchronously, in parallel with the
+//     communication, at low priority. Negligible overhead, but a crash
+//     may occur before the logging operation completes, losing the
+//     entry.
+//   - Blocking pessimistic: the beginning of the communication is
+//     blocked until logging completes. The entry is always durable
+//     before the message is on the wire (~+30 % submission overhead on
+//     the confined platform, dominated by disk access).
+//   - Non-blocking pessimistic: the communication starts immediately,
+//     but its *end* (the point at which the operation is considered
+//     complete and the application may proceed) is blocked until the
+//     logging operation completes. Small, variable overhead due to disk
+//     cache management.
+//
+// The Log type is runtime-agnostic: it sequences disk writes and sends
+// through the node.Env abstraction, so the same code drives both the
+// simulator (where the disk model charges virtual latency) and the real
+// runtime.
+package msglog
+
+import (
+	"fmt"
+	"time"
+
+	"rpcv/internal/node"
+	"rpcv/internal/proto"
+)
+
+// Strategy selects the logging protocol.
+type Strategy uint8
+
+const (
+	// Optimistic logs asynchronously; a crash can lose recent entries.
+	Optimistic Strategy = iota
+	// BlockingPessimistic makes the entry durable before sending.
+	BlockingPessimistic
+	// NonBlockingPessimistic sends immediately but withholds completion
+	// until the entry is durable.
+	NonBlockingPessimistic
+)
+
+// String returns the strategy name used in figures and flags.
+func (s Strategy) String() string {
+	switch s {
+	case Optimistic:
+		return "optimistic"
+	case BlockingPessimistic:
+		return "blocking-pessimistic"
+	case NonBlockingPessimistic:
+		return "non-blocking-pessimistic"
+	default:
+		return fmt.Sprintf("strategy(%d)", uint8(s))
+	}
+}
+
+// ParseStrategy converts a flag value to a Strategy.
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "optimistic", "opt":
+		return Optimistic, nil
+	case "blocking-pessimistic", "blocking":
+		return BlockingPessimistic, nil
+	case "non-blocking-pessimistic", "non-blocking", "nonblocking":
+		return NonBlockingPessimistic, nil
+	}
+	return 0, fmt.Errorf("msglog: unknown strategy %q", s)
+}
+
+// DiskModel computes the latency of a durable write of size bytes. The
+// confined platform's IDE disk is modelled as a seek/rotational floor
+// plus a streaming rate; tests can substitute constants.
+type DiskModel func(size int) time.Duration
+
+// IDEDisk returns the disk model calibrated to the paper's platform
+// (IDE disk on an Athlon XP node): ~6 ms access floor, ~25 MB/s
+// sequential writes.
+func IDEDisk() DiskModel {
+	return func(size int) time.Duration {
+		return 6*time.Millisecond + time.Duration(float64(size)/25e6*float64(time.Second))
+	}
+}
+
+// InstantDisk returns a zero-latency model (unit tests).
+func InstantDisk() DiskModel { return func(int) time.Duration { return 0 } }
+
+// Entry is one logged outgoing message.
+type Entry struct {
+	Key  string // unique key within the log, also the disk key suffix
+	Data []byte // serialized message payload to resend on synchronization
+}
+
+// Log is a sender-based message log bound to one node environment.
+//
+// LogAndSend is the single operation: it applies the configured
+// strategy to (durably log entry, send msg to dst) and calls done (if
+// non-nil) at the moment the operation is *complete* from the
+// application's point of view — which is the quantity figure 4
+// measures. For Optimistic, completion is at send; for
+// BlockingPessimistic, after the write, before the send starts; for
+// NonBlockingPessimistic, when the write finishes (the send having
+// started immediately).
+type Log struct {
+	env      node.Env
+	prefix   string
+	strategy Strategy
+	disk     DiskModel
+
+	// diskArm serializes log writes: concurrent writes queue behind
+	// one another, as on a real disk.
+	diskArm node.SerialResource
+
+	// pending tracks outstanding optimistic flush timers so Close can
+	// cancel them.
+	pending []node.Timer
+}
+
+// Config parameterizes a Log.
+type Config struct {
+	// Prefix namespaces this log's keys on the node disk.
+	Prefix string
+	// Strategy is the logging protocol; default Optimistic.
+	Strategy Strategy
+	// Disk is the write latency model; nil means IDEDisk().
+	Disk DiskModel
+}
+
+// New creates a log on env's disk.
+func New(env node.Env, cfg Config) *Log {
+	if cfg.Disk == nil {
+		cfg.Disk = IDEDisk()
+	}
+	if cfg.Prefix == "" {
+		cfg.Prefix = "msglog/"
+	}
+	return &Log{env: env, prefix: cfg.Prefix, strategy: cfg.Strategy, disk: cfg.Disk}
+}
+
+// Strategy returns the configured strategy.
+func (l *Log) Strategy() Strategy { return l.strategy }
+
+// LogAndSend logs entry and transmits msg to dst per the strategy.
+// done, when non-nil, runs on the node's event loop when the operation
+// completes (see Log's doc for what completion means per strategy).
+func (l *Log) LogAndSend(dst proto.NodeID, msg proto.Message, entry Entry, done func()) {
+	key := l.prefix + entry.Key
+	d := l.diskArm.Acquire(l.env.Now(), l.disk(len(entry.Data)))
+	switch l.strategy {
+	case Optimistic:
+		// Send now; flush later at low priority. A crash before the
+		// flush timer fires loses the entry — that is the optimism.
+		l.env.Send(dst, msg)
+		l.pending = append(l.pending, l.env.After(d, func() {
+			l.write(key, entry.Data)
+		}))
+		if done != nil {
+			done()
+		}
+	case BlockingPessimistic:
+		// Durable write first; the communication begins only after.
+		l.env.After(d, func() {
+			l.write(key, entry.Data)
+			l.env.Send(dst, msg)
+			if done != nil {
+				done()
+			}
+		})
+	case NonBlockingPessimistic:
+		// Send immediately; completion waits for the write. The write
+		// overlaps the communication, so the added delay is only the
+		// slack between disk and network times (small and variable —
+		// disk cache management, per the paper).
+		l.env.Send(dst, msg)
+		l.env.After(d, func() {
+			l.write(key, entry.Data)
+			if done != nil {
+				done()
+			}
+		})
+	}
+}
+
+func (l *Log) write(key string, data []byte) {
+	if err := l.env.Disk().Write(key, data); err != nil {
+		l.env.Logf("msglog: write %s: %v", key, err)
+	}
+}
+
+// Get returns a logged entry's payload.
+func (l *Log) Get(key string) ([]byte, bool) { return l.env.Disk().Read(l.prefix + key) }
+
+// Keys returns all durably logged entry keys, sorted.
+func (l *Log) Keys() []string {
+	raw := l.env.Disk().Keys(l.prefix)
+	keys := make([]string, len(raw))
+	for i, k := range raw {
+		keys[i] = k[len(l.prefix):]
+	}
+	return keys
+}
+
+// Len returns the number of durable entries.
+func (l *Log) Len() int { return len(l.env.Disk().Keys(l.prefix)) }
+
+// GC removes the entries selected by drop, implementing the
+// distributed garbage collection: logging capacities are bounded, so
+// components flush logs whose information is safely replicated
+// elsewhere (e.g. acknowledged results).
+func (l *Log) GC(drop func(key string) bool) int {
+	removed := 0
+	for _, k := range l.Keys() {
+		if drop(k) {
+			l.env.Disk().Delete(l.prefix + k)
+			removed++
+		}
+	}
+	return removed
+}
+
+// Close cancels pending optimistic flushes (a clean shutdown; a crash
+// simply never fires them).
+func (l *Log) Close() {
+	for _, t := range l.pending {
+		t.Stop()
+	}
+	l.pending = nil
+}

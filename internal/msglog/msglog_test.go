@@ -1,0 +1,213 @@
+package msglog
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rpcv/internal/node"
+	"rpcv/internal/proto"
+	"rpcv/internal/sim"
+)
+
+// host exposes a node.Env to the test body.
+type host struct {
+	env   node.Env
+	inbox []proto.Message
+}
+
+func (h *host) Start(env node.Env)                      { h.env = env }
+func (h *host) Receive(_ proto.NodeID, m proto.Message) { h.inbox = append(h.inbox, m) }
+func (h *host) Stop()                                   {}
+
+type blob struct{ Data []byte }
+
+func (*blob) Kind() string    { return "blob" }
+func (b *blob) WireSize() int { return len(b.Data) }
+
+// rig builds a two-node world: "src" owning the log under test and
+// "dst" collecting transmissions.
+func rig(t *testing.T, strategy Strategy, disk DiskModel) (*sim.World, *host, *host, *Log) {
+	t.Helper()
+	w := sim.NewWorld(sim.Config{Seed: 1})
+	src, dst := &host{}, &host{}
+	w.AddNode("src", src)
+	w.AddNode("dst", dst)
+	w.Start("src")
+	w.Start("dst")
+	l := New(src.env, Config{Strategy: strategy, Disk: disk})
+	return w, src, dst, l
+}
+
+func fixedDisk(d time.Duration) DiskModel { return func(int) time.Duration { return d } }
+
+func TestOptimisticSendsImmediately(t *testing.T) {
+	w, _, dst, l := rig(t, Optimistic, fixedDisk(10*time.Millisecond))
+	doneAt := time.Time{}
+	l.LogAndSend("dst", &blob{Data: []byte("x")}, Entry{Key: "1", Data: []byte("x")},
+		func() { doneAt = w.Now() })
+	if !doneAt.Equal(w.Now()) {
+		t.Fatal("optimistic completion not immediate")
+	}
+	// Entry not yet durable.
+	if l.Len() != 0 {
+		t.Fatal("optimistic write completed synchronously")
+	}
+	w.RunFor(time.Second)
+	if len(dst.inbox) != 1 {
+		t.Fatalf("dst received %d messages, want 1", len(dst.inbox))
+	}
+	if l.Len() != 1 {
+		t.Fatal("optimistic flush never landed")
+	}
+}
+
+func TestOptimisticCrashLosesUnflushed(t *testing.T) {
+	w, src, _, l := rig(t, Optimistic, fixedDisk(10*time.Millisecond))
+	l.LogAndSend("dst", &blob{Data: []byte("x")}, Entry{Key: "1", Data: []byte("x")}, nil)
+	w.Crash("src")
+	w.RunFor(time.Second)
+	if n := len(src.env.Disk().Keys("msglog/")); n != 0 {
+		t.Fatalf("crash before flush left %d durable entries, want 0", n)
+	}
+}
+
+func TestBlockingPessimisticWritesBeforeSend(t *testing.T) {
+	w, _, dst, l := rig(t, BlockingPessimistic, fixedDisk(10*time.Millisecond))
+	var doneAt time.Time
+	l.LogAndSend("dst", &blob{Data: []byte("x")}, Entry{Key: "1", Data: []byte("x")},
+		func() { doneAt = w.Now() })
+	// Nothing sent or written yet.
+	if len(dst.inbox) != 0 || l.Len() != 0 {
+		t.Fatal("blocking pessimistic acted before the disk delay")
+	}
+	w.RunFor(5 * time.Millisecond)
+	if len(dst.inbox) != 0 {
+		t.Fatal("message on the wire before the write completed")
+	}
+	w.RunFor(time.Second)
+	if l.Len() != 1 || len(dst.inbox) != 1 {
+		t.Fatalf("after run: %d entries, %d deliveries; want 1,1", l.Len(), len(dst.inbox))
+	}
+	if doneAt.Sub(sim.Epoch) < 10*time.Millisecond {
+		t.Fatalf("completion at %v, want >= 10ms", doneAt.Sub(sim.Epoch))
+	}
+}
+
+func TestNonBlockingPessimisticOverlaps(t *testing.T) {
+	w, _, dst, l := rig(t, NonBlockingPessimistic, fixedDisk(10*time.Millisecond))
+	var doneAt time.Time
+	l.LogAndSend("dst", &blob{Data: []byte("x")}, Entry{Key: "1", Data: []byte("x")},
+		func() { doneAt = w.Now() })
+	w.RunFor(time.Millisecond)
+	// The send must already be out (instant network here).
+	if len(dst.inbox) != 1 {
+		t.Fatal("non-blocking send did not start immediately")
+	}
+	if !doneAt.IsZero() {
+		t.Fatal("completion before the write finished")
+	}
+	w.RunFor(time.Second)
+	if doneAt.Sub(sim.Epoch) != 10*time.Millisecond {
+		t.Fatalf("completion at %v, want 10ms", doneAt.Sub(sim.Epoch))
+	}
+}
+
+func TestDiskWritesSerialize(t *testing.T) {
+	w, _, _, l := rig(t, BlockingPessimistic, fixedDisk(10*time.Millisecond))
+	var completions []time.Duration
+	for i := 0; i < 4; i++ {
+		key := fmt.Sprintf("%d", i)
+		l.LogAndSend("dst", &blob{Data: []byte("x")}, Entry{Key: key, Data: []byte("x")},
+			func() { completions = append(completions, w.Elapsed()) })
+	}
+	w.RunFor(time.Second)
+	if len(completions) != 4 {
+		t.Fatalf("%d completions, want 4", len(completions))
+	}
+	for i, c := range completions {
+		want := time.Duration(i+1) * 10 * time.Millisecond
+		if c != want {
+			t.Fatalf("completion %d at %v, want %v (disk must serialize)", i, c, want)
+		}
+	}
+}
+
+func TestKeysSortedAndGet(t *testing.T) {
+	w, _, _, l := rig(t, BlockingPessimistic, fixedDisk(0))
+	for _, k := range []string{"b", "a", "c"} {
+		l.LogAndSend("dst", &blob{Data: []byte(k)}, Entry{Key: k, Data: []byte(k)}, nil)
+	}
+	w.RunFor(time.Second)
+	keys := l.Keys()
+	if len(keys) != 3 || keys[0] != "a" || keys[1] != "b" || keys[2] != "c" {
+		t.Fatalf("keys = %v", keys)
+	}
+	v, ok := l.Get("b")
+	if !ok || string(v) != "b" {
+		t.Fatalf("Get(b) = %q,%v", v, ok)
+	}
+}
+
+func TestGC(t *testing.T) {
+	w, _, _, l := rig(t, BlockingPessimistic, fixedDisk(0))
+	for i := 0; i < 6; i++ {
+		k := fmt.Sprintf("%d", i)
+		l.LogAndSend("dst", &blob{}, Entry{Key: k, Data: []byte(k)}, nil)
+	}
+	w.RunFor(time.Second)
+	removed := l.GC(func(key string) bool { return key < "3" })
+	if removed != 3 || l.Len() != 3 {
+		t.Fatalf("GC removed %d, left %d; want 3,3", removed, l.Len())
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Strategy
+	}{
+		{"optimistic", Optimistic},
+		{"opt", Optimistic},
+		{"blocking", BlockingPessimistic},
+		{"blocking-pessimistic", BlockingPessimistic},
+		{"non-blocking", NonBlockingPessimistic},
+		{"nonblocking", NonBlockingPessimistic},
+	} {
+		got, err := ParseStrategy(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseStrategy(%q) = %v,%v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Error("ParseStrategy accepted bogus input")
+	}
+	// Round trip through String.
+	for _, s := range []Strategy{Optimistic, BlockingPessimistic, NonBlockingPessimistic} {
+		got, err := ParseStrategy(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseStrategy(%v.String()) = %v,%v", s, got, err)
+		}
+	}
+}
+
+func TestIDEDiskScalesWithSize(t *testing.T) {
+	m := IDEDisk()
+	small, big := m(100), m(100<<20)
+	if small < 6*time.Millisecond {
+		t.Fatalf("small write %v below access floor", small)
+	}
+	if big < 4*time.Second || big > 5*time.Second {
+		t.Fatalf("100MB write = %v, want ~4s at 25MB/s", big)
+	}
+}
+
+func TestCloseCancelsOptimisticFlushes(t *testing.T) {
+	w, _, _, l := rig(t, Optimistic, fixedDisk(10*time.Millisecond))
+	l.LogAndSend("dst", &blob{}, Entry{Key: "1", Data: []byte("x")}, nil)
+	l.Close()
+	w.RunFor(time.Second)
+	if l.Len() != 0 {
+		t.Fatal("flush fired after Close")
+	}
+}

@@ -1,0 +1,99 @@
+// Package node defines the runtime abstraction that RPC-V protocol state
+// machines are written against. The same client, coordinator and server
+// logic runs unchanged on two environments:
+//
+//   - the deterministic discrete-event simulator (internal/sim), used by
+//     every experiment and most tests, where time is virtual; and
+//   - the real-time TCP runtime (internal/rt), used by the cmd/ daemons
+//     and the quickstart example, where time is the wall clock.
+//
+// The abstraction deliberately mirrors the paper's communication model:
+// interactions are connection-less and asymmetric (Send is fire and
+// forget; replies are just messages in the other direction), there is no
+// reliable delivery, and there are no connection-break fault signals —
+// failure information only ever comes from heartbeat timeouts.
+package node
+
+import (
+	"math/rand"
+	"time"
+
+	"rpcv/internal/proto"
+)
+
+// Timer cancels a pending timer when invoked. Cancelling an already
+// fired or cancelled timer is a no-op.
+type Timer interface {
+	Stop()
+}
+
+// Env is the execution environment handed to a protocol state machine.
+//
+// All methods are called from the single goroutine (or event loop) that
+// owns the node, so handlers never need locking for their own state.
+type Env interface {
+	// Self returns the node's stable identifier.
+	Self() proto.NodeID
+
+	// Now returns the current (virtual or wall-clock) time.
+	Now() time.Time
+
+	// After schedules fn to run on the node's event loop after d.
+	// The returned Timer can cancel it.
+	After(d time.Duration, fn func()) Timer
+
+	// Send transmits msg to the named node, connection-less and
+	// unreliably: it never blocks, never fails synchronously, and the
+	// message may be lost, delayed arbitrarily, or arrive after the
+	// destination crashed.
+	Send(to proto.NodeID, msg proto.Message)
+
+	// Disk returns the node's stable store. Its contents survive
+	// crashes and restarts of the node (but writes may be delayed or
+	// lost depending on the logging strategy layered above).
+	Disk() Disk
+
+	// Rand returns the node's deterministic random source.
+	Rand() *rand.Rand
+
+	// Logf records a debug/trace line attributed to the node.
+	Logf(format string, args ...any)
+}
+
+// Disk models the node-local stable storage used for sender-based
+// message logging and result archives. Write is durable when it
+// returns: higher layers (internal/msglog) model optimistic logging by
+// delaying the Write call itself.
+//
+// Keys are flat strings; the simulator charges a latency per operation
+// proportional to the data size, the real runtime maps the store to
+// files.
+type Disk interface {
+	// Write durably stores value under key, replacing any previous value.
+	Write(key string, value []byte) error
+	// Read returns the stored value, or ok=false if absent.
+	Read(key string) (value []byte, ok bool)
+	// Delete removes key; deleting an absent key is a no-op.
+	Delete(key string)
+	// Keys returns all stored keys with the given prefix, sorted.
+	Keys(prefix string) []string
+}
+
+// Handler is the protocol state machine interface implemented by the
+// client, coordinator and server nodes.
+type Handler interface {
+	// Start initializes the node. It is called once per incarnation:
+	// on first boot and again after every restart, with a fresh Env
+	// whose Disk retains the previous incarnation's durable writes.
+	Start(env Env)
+
+	// Receive delivers one message. from identifies the sender as
+	// claimed by the transport; the protocol never trusts it for more
+	// than addressing replies.
+	Receive(from proto.NodeID, msg proto.Message)
+
+	// Stop tells the node its incarnation is ending (crash or clean
+	// shutdown). Handlers must not touch env afterwards; pending
+	// timers are cancelled by the runtime.
+	Stop()
+}

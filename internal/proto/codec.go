@@ -1,0 +1,76 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// init registers every concrete message type so that gob can move them
+// through the real TCP transport's Envelope (whose payload is a
+// Message interface value).
+func init() {
+	gob.Register(&Submit{})
+	gob.Register(&SubmitAck{})
+	gob.Register(&Poll{})
+	gob.Register(&Results{})
+	gob.Register(&SyncRequest{})
+	gob.Register(&SyncReply{})
+	gob.Register(&FetchResult{})
+	gob.Register(&FetchReply{})
+	gob.Register(&Heartbeat{})
+	gob.Register(&HeartbeatAck{})
+	gob.Register(&TaskResult{})
+	gob.Register(&TaskResultAck{})
+	gob.Register(&ServerSync{})
+	gob.Register(&ServerSyncReply{})
+	gob.Register(&ReplicaUpdate{})
+	gob.Register(&ReplicaAck{})
+}
+
+// EncodeJob serializes a job record for durable storage.
+func EncodeJob(rec *JobRecord) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+		// A JobRecord contains only gob-encodable fields; failure here
+		// is a programming error, not an I/O condition.
+		panic(fmt.Sprintf("proto: encode job record: %v", err))
+	}
+	return buf.Bytes()
+}
+
+// DecodeJob parses a job record previously encoded with EncodeJob.
+func DecodeJob(raw []byte) (*JobRecord, error) {
+	var rec JobRecord
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&rec); err != nil {
+		return nil, fmt.Errorf("proto: decode job record: %w", err)
+	}
+	return &rec, nil
+}
+
+// EncodeMessage serializes any registered protocol message with a kind
+// tag, for message logs and the real transport.
+func EncodeMessage(msg Message) []byte {
+	var buf bytes.Buffer
+	env := wireEnvelope{Msg: msg}
+	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+		panic(fmt.Sprintf("proto: encode %s: %v", msg.Kind(), err))
+	}
+	return buf.Bytes()
+}
+
+// DecodeMessage parses a message encoded with EncodeMessage.
+func DecodeMessage(raw []byte) (Message, error) {
+	var env wireEnvelope
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("proto: decode message: %w", err)
+	}
+	if env.Msg == nil {
+		return nil, fmt.Errorf("proto: decode message: empty envelope")
+	}
+	return env.Msg, nil
+}
+
+type wireEnvelope struct {
+	Msg Message
+}

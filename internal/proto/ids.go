@@ -1,0 +1,100 @@
+// Package proto defines the RPC-V wire protocol: component identifiers,
+// message types exchanged between clients, coordinators and servers, and
+// the job/task state machine maintained by coordinators.
+//
+// Any client RPC call execution in the system is identified by the triple
+// (user unique ID, session unique ID, RPC unique ID), exactly as in the
+// paper (section 4.2, "Managing Message Logs"). A session corresponds to
+// one login of the user into the system; any instance of the client
+// program may reconnect from a different address and retrieve results
+// using these IDs alone.
+package proto
+
+import "fmt"
+
+// NodeID identifies a component (client, coordinator or server) in the
+// system. IDs are stable across crashes and restarts of the component:
+// a restarting node keeps its NodeID, which is what allows log-based
+// state synchronization after an intermittent crash.
+type NodeID string
+
+// Role classifies a component in the three-tier architecture.
+type Role uint8
+
+const (
+	// RoleClient is the first tier: the application submitting RPCs.
+	RoleClient Role = iota
+	// RoleCoordinator is the middle tier: virtualization, scheduling,
+	// forwarding, replication.
+	RoleCoordinator
+	// RoleServer is the third tier: the worker executing RPC services.
+	RoleServer
+)
+
+// String returns the lower-case role name.
+func (r Role) String() string {
+	switch r {
+	case RoleClient:
+		return "client"
+	case RoleCoordinator:
+		return "coordinator"
+	case RoleServer:
+		return "server"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// UserID identifies a user of the grid.
+type UserID string
+
+// SessionID identifies one login session of a user. It is allocated by
+// the client at session start and never reused.
+type SessionID uint64
+
+// RPCSeq is the per-session RPC submission counter. All client RPC
+// submissions carry a unique, monotonically increasing counter value:
+// this timestamp is the basis of the client/coordinator synchronization
+// protocol.
+type RPCSeq uint64
+
+// CallID is the globally unique identifier of one client RPC call:
+// the (user, session, rpc) triple from the paper.
+type CallID struct {
+	User    UserID
+	Session SessionID
+	Seq     RPCSeq
+}
+
+// String renders the call ID as user/session/seq.
+func (c CallID) String() string {
+	return fmt.Sprintf("%s/%d/%d", c.User, c.Session, c.Seq)
+}
+
+// Less orders call IDs lexicographically by (user, session, seq). The
+// order is used only for deterministic iteration, never for agreement.
+func (c CallID) Less(o CallID) bool {
+	if c.User != o.User {
+		return c.User < o.User
+	}
+	if c.Session != o.Session {
+		return c.Session < o.Session
+	}
+	return c.Seq < o.Seq
+}
+
+// TaskID identifies one scheduled instance of a job on a server. The
+// same CallID may map to several TaskIDs over time: on fault suspicion
+// the coordinator schedules new instances of all RPC calls forwarded to
+// the suspect ("on suspicion" replication strategy), and asynchrony can
+// produce duplicated executions, which is why RPC-V guarantees
+// at-least-once (not exactly-once) semantics.
+type TaskID struct {
+	Call     CallID
+	Instance uint32
+}
+
+// String renders the task ID as call#instance.
+func (t TaskID) String() string {
+	return fmt.Sprintf("%s#%d", t.Call, t.Instance)
+}

@@ -1,0 +1,457 @@
+// Package rt is the real-time runtime: it hosts the same protocol
+// handlers that run in the simulator (client, coordinator, server) on a
+// real machine, with TCP sockets, the wall clock and a file-backed
+// disk. The cmd/ daemons and the quickstart example are built on it.
+//
+// Communication is connection-less exactly as the paper prescribes: for
+// any interaction, a connection is opened, one message is written, and
+// the connection is closed immediately. Connection breaks are therefore
+// never used as fault signals — only heartbeat timeouts are.
+//
+// Each runtime runs its handler on a single event loop goroutine, so
+// handlers keep the no-locking discipline they have under the
+// simulator.
+package rt
+
+import (
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"rpcv/internal/node"
+	"rpcv/internal/proto"
+)
+
+// Directory maps node IDs to TCP addresses. In a real deployment this
+// is the "finite list of known coordinators" downloaded from known
+// repositories plus the addresses learned over time.
+type Directory map[proto.NodeID]string
+
+// Config parameterizes a runtime.
+type Config struct {
+	// ID is this node's stable identifier.
+	ID proto.NodeID
+	// ListenAddr is the TCP address to listen on (e.g. "127.0.0.1:0").
+	// Empty means this node never receives (rarely useful).
+	ListenAddr string
+	// Directory maps peer IDs to addresses.
+	Directory Directory
+	// DiskDir is the directory backing the node's stable store. Empty
+	// means an in-memory store (volatile across process restarts —
+	// fine for tests, wrong for production).
+	DiskDir string
+	// Handler is the protocol state machine to host.
+	Handler node.Handler
+	// Seed for the node's RNG; 0 derives one from the ID.
+	Seed int64
+	// Logf, when non-nil, receives trace output (default: log.Printf).
+	Logf func(format string, args ...any)
+	// DialTimeout bounds connection attempts. Default 2 s.
+	DialTimeout time.Duration
+}
+
+// envelope frames one message on the wire.
+type envelope struct {
+	From proto.NodeID
+	Msg  proto.Message
+}
+
+// Runtime hosts one handler.
+type Runtime struct {
+	cfg  Config
+	ln   net.Listener
+	disk node.Disk
+	rng  *rand.Rand
+
+	mu     sync.Mutex
+	dir    Directory
+	closed bool
+
+	mailbox chan func()
+	quit    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// Start creates the runtime, binds its listener and boots the handler.
+func Start(cfg Config) (*Runtime, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("rt: empty node ID")
+	}
+	if cfg.Handler == nil {
+		return nil, fmt.Errorf("rt: nil handler")
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		for _, c := range cfg.ID {
+			seed = seed*131 + int64(c)
+		}
+		seed ^= time.Now().UnixNano()
+	}
+
+	r := &Runtime{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(seed)),
+		dir:     make(Directory, len(cfg.Directory)),
+		mailbox: make(chan func(), 1024),
+		quit:    make(chan struct{}),
+	}
+	for id, addr := range cfg.Directory {
+		r.dir[id] = addr
+	}
+
+	if cfg.DiskDir != "" {
+		d, err := newFileDisk(cfg.DiskDir)
+		if err != nil {
+			return nil, fmt.Errorf("rt: disk: %w", err)
+		}
+		r.disk = d
+	} else {
+		r.disk = newMemDisk()
+	}
+
+	if cfg.ListenAddr != "" {
+		ln, err := net.Listen("tcp", cfg.ListenAddr)
+		if err != nil {
+			return nil, fmt.Errorf("rt: listen: %w", err)
+		}
+		r.ln = ln
+		r.wg.Add(1)
+		go r.acceptLoop()
+	}
+
+	r.wg.Add(1)
+	go r.eventLoop()
+
+	env := &rtEnv{rt: r}
+	r.Do(func() { cfg.Handler.Start(env) })
+	return r, nil
+}
+
+// Addr returns the bound listen address ("" when not listening).
+func (r *Runtime) Addr() string {
+	if r.ln == nil {
+		return ""
+	}
+	return r.ln.Addr().String()
+}
+
+// ID returns the hosted node's identifier.
+func (r *Runtime) ID() proto.NodeID { return r.cfg.ID }
+
+// SetPeer updates the directory entry for a peer (e.g. after a
+// coordinator-list merge carried addresses out of band).
+func (r *Runtime) SetPeer(id proto.NodeID, addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dir[id] = addr
+}
+
+// Do runs fn on the handler's event loop and returns once it executed.
+// It is how application code (the GridRPC facade) calls into the hosted
+// handler safely.
+func (r *Runtime) Do(fn func()) {
+	done := make(chan struct{})
+	select {
+	case r.mailbox <- func() { fn(); close(done) }:
+		<-done
+	case <-r.quit:
+	}
+}
+
+// DoAsync schedules fn on the event loop without waiting.
+func (r *Runtime) DoAsync(fn func()) {
+	select {
+	case r.mailbox <- fn:
+	case <-r.quit:
+	}
+}
+
+// Close stops the handler and releases the listener. It does not
+// remove the disk directory: stable storage survives, as a crash-stop
+// would leave it.
+func (r *Runtime) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+
+	r.Do(func() { r.cfg.Handler.Stop() })
+	close(r.quit)
+	if r.ln != nil {
+		r.ln.Close()
+	}
+	r.wg.Wait()
+}
+
+func (r *Runtime) eventLoop() {
+	defer r.wg.Done()
+	for {
+		select {
+		case fn := <-r.mailbox:
+			fn()
+		case <-r.quit:
+			// Drain what is already queued, then stop.
+			for {
+				select {
+				case fn := <-r.mailbox:
+					fn()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (r *Runtime) acceptLoop() {
+	defer r.wg.Done()
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			select {
+			case <-r.quit:
+				return
+			default:
+			}
+			r.cfg.Logf("rt(%s): accept: %v", r.cfg.ID, err)
+			continue
+		}
+		go r.handleConn(conn)
+	}
+}
+
+func (r *Runtime) handleConn(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetReadDeadline(time.Now().Add(time.Minute))
+	var env envelope
+	if err := gob.NewDecoder(conn).Decode(&env); err != nil {
+		r.cfg.Logf("rt(%s): decode: %v", r.cfg.ID, err)
+		return
+	}
+	if env.Msg == nil {
+		return
+	}
+	r.DoAsync(func() { r.cfg.Handler.Receive(env.From, env.Msg) })
+}
+
+// send dials the peer, writes one envelope and closes. Failures are
+// silent (best-effort network): the protocol's heartbeats and resends
+// own all recovery.
+func (r *Runtime) send(to proto.NodeID, msg proto.Message) {
+	r.mu.Lock()
+	addr, ok := r.dir[to]
+	r.mu.Unlock()
+	if !ok {
+		r.cfg.Logf("rt(%s): no address for %s, dropping %s", r.cfg.ID, to, msg.Kind())
+		return
+	}
+	go func() {
+		conn, err := net.DialTimeout("tcp", addr, r.cfg.DialTimeout)
+		if err != nil {
+			return // unreachable peers are a normal event
+		}
+		defer conn.Close()
+		_ = conn.SetWriteDeadline(time.Now().Add(time.Minute))
+		env := envelope{From: r.cfg.ID, Msg: msg}
+		if err := gob.NewEncoder(conn).Encode(&env); err != nil {
+			r.cfg.Logf("rt(%s): send %s to %s: %v", r.cfg.ID, msg.Kind(), to, err)
+		}
+	}()
+}
+
+// ---------------------------------------------------------------------
+// Env implementation
+// ---------------------------------------------------------------------
+
+type rtEnv struct{ rt *Runtime }
+
+var _ node.Env = (*rtEnv)(nil)
+
+func (e *rtEnv) Self() proto.NodeID { return e.rt.cfg.ID }
+func (e *rtEnv) Now() time.Time     { return time.Now() }
+func (e *rtEnv) Rand() *rand.Rand   { return e.rt.rng }
+func (e *rtEnv) Disk() node.Disk    { return e.rt.disk }
+
+func (e *rtEnv) Logf(format string, args ...any) {
+	e.rt.cfg.Logf("%s: %s", e.rt.cfg.ID, fmt.Sprintf(format, args...))
+}
+
+func (e *rtEnv) Send(to proto.NodeID, msg proto.Message) { e.rt.send(to, msg) }
+
+func (e *rtEnv) After(d time.Duration, fn func()) node.Timer {
+	t := &rtTimer{}
+	t.timer = time.AfterFunc(d, func() {
+		e.rt.DoAsync(func() {
+			t.mu.Lock()
+			stopped := t.stopped
+			t.mu.Unlock()
+			if !stopped {
+				fn()
+			}
+		})
+	})
+	return t
+}
+
+type rtTimer struct {
+	mu      sync.Mutex
+	stopped bool
+	timer   *time.Timer
+}
+
+func (t *rtTimer) Stop() {
+	t.mu.Lock()
+	t.stopped = true
+	t.mu.Unlock()
+	t.timer.Stop()
+}
+
+// ---------------------------------------------------------------------
+// Disks
+// ---------------------------------------------------------------------
+
+// memDisk is a volatile in-memory store (tests, throwaway clients).
+type memDisk struct {
+	mu   sync.Mutex
+	data map[string][]byte
+}
+
+func newMemDisk() *memDisk { return &memDisk{data: make(map[string][]byte)} }
+
+func (d *memDisk) Write(key string, value []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.data[key] = append([]byte(nil), value...)
+	return nil
+}
+
+func (d *memDisk) Read(key string) ([]byte, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	v, ok := d.data[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+func (d *memDisk) Delete(key string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.data, key)
+}
+
+func (d *memDisk) Keys(prefix string) []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var keys []string
+	for k := range d.data {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// fileDisk maps each key to one file whose name is the hex encoding of
+// the key (keys contain '/' and other filesystem-hostile characters).
+// Writes are synced: the store is the message log, and pessimistic
+// logging is only pessimistic if the bytes actually hit the platter.
+type fileDisk struct {
+	dir string
+	mu  sync.Mutex
+}
+
+func newFileDisk(dir string) (*fileDisk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &fileDisk{dir: dir}, nil
+}
+
+func (d *fileDisk) path(key string) string {
+	return filepath.Join(d.dir, hex.EncodeToString([]byte(key))+".log")
+}
+
+func (d *fileDisk) Write(key string, value []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	tmp := d.path(key) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(value); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, d.path(key))
+}
+
+func (d *fileDisk) Read(key string) ([]byte, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	data, err := os.ReadFile(d.path(key))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+func (d *fileDisk) Delete(key string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_ = os.Remove(d.path(key))
+}
+
+func (d *fileDisk) Keys(prefix string) []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil
+	}
+	var keys []string
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		raw, err := hex.DecodeString(strings.TrimSuffix(name, ".log"))
+		if err != nil {
+			continue
+		}
+		key := string(raw)
+		if strings.HasPrefix(key, prefix) {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,241 @@
+package rt
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"rpcv/internal/client"
+	"rpcv/internal/coordinator"
+	"rpcv/internal/db"
+	"rpcv/internal/msglog"
+	"rpcv/internal/node"
+	"rpcv/internal/proto"
+	"rpcv/internal/server"
+)
+
+// echo is a trivial handler replying to every message with the same
+// message.
+type echo struct {
+	env  node.Env
+	mu   sync.Mutex
+	seen []proto.Message
+}
+
+func (e *echo) Start(env node.Env) { e.env = env }
+func (e *echo) Stop()              {}
+func (e *echo) Receive(from proto.NodeID, m proto.Message) {
+	e.mu.Lock()
+	e.seen = append(e.seen, m)
+	e.mu.Unlock()
+	if _, isHB := m.(*proto.Heartbeat); isHB {
+		e.env.Send(from, &proto.HeartbeatAck{From: e.env.Self()})
+	}
+}
+
+func (e *echo) count() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.seen)
+}
+
+func quietLogf(string, ...any) {}
+
+func TestMessageExchangeOverTCP(t *testing.T) {
+	a := &echo{}
+	b := &echo{}
+	ra, err := Start(Config{ID: "a", ListenAddr: "127.0.0.1:0", Handler: a, Logf: quietLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ra.Close()
+	rb, err := Start(Config{ID: "b", ListenAddr: "127.0.0.1:0", Handler: b, Logf: quietLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rb.Close()
+	ra.SetPeer("b", rb.Addr())
+	rb.SetPeer("a", ra.Addr())
+
+	ra.Do(func() { a.env.Send("b", &proto.Heartbeat{From: "a", Role: proto.RoleServer}) })
+	deadline := time.Now().Add(5 * time.Second)
+	for b.count() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if b.count() == 0 {
+		t.Fatal("message never arrived over TCP")
+	}
+	// The reply (HeartbeatAck) flows back.
+	for a.count() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if a.count() == 0 {
+		t.Fatal("reply never arrived")
+	}
+}
+
+func TestSendToUnknownPeerDropped(t *testing.T) {
+	a := &echo{}
+	ra, err := Start(Config{ID: "a", ListenAddr: "127.0.0.1:0", Handler: a, Logf: quietLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ra.Close()
+	// Must not panic or block.
+	ra.Do(func() { a.env.Send("ghost", &proto.Heartbeat{From: "a"}) })
+}
+
+func TestTimers(t *testing.T) {
+	a := &echo{}
+	ra, err := Start(Config{ID: "a", Handler: a, Logf: quietLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ra.Close()
+	fired := make(chan struct{})
+	var cancelled bool
+	ra.Do(func() {
+		a.env.After(20*time.Millisecond, func() { close(fired) })
+		tm := a.env.After(20*time.Millisecond, func() { cancelled = true })
+		tm.Stop()
+	})
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer never fired")
+	}
+	time.Sleep(100 * time.Millisecond)
+	ra.Do(func() {})
+	if cancelled {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestFileDiskPersistsAcrossRuntimes(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "disk")
+	a := &echo{}
+	ra, err := Start(Config{ID: "a", Handler: a, DiskDir: dir, Logf: quietLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra.Do(func() {
+		if err := a.env.Disk().Write("msglog/00001", []byte("payload")); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		if err := a.env.Disk().Write("other/x", []byte("y")); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	})
+	ra.Close()
+
+	// A new incarnation sees the data (crash-restart persistence).
+	b := &echo{}
+	rb, err := Start(Config{ID: "a", Handler: b, DiskDir: dir, Logf: quietLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rb.Close()
+	rb.Do(func() {
+		v, ok := b.env.Disk().Read("msglog/00001")
+		if !ok || string(v) != "payload" {
+			t.Errorf("read = %q,%v", v, ok)
+		}
+		keys := b.env.Disk().Keys("msglog/")
+		if len(keys) != 1 || keys[0] != "msglog/00001" {
+			t.Errorf("keys = %v", keys)
+		}
+		b.env.Disk().Delete("msglog/00001")
+		if _, ok := b.env.Disk().Read("msglog/00001"); ok {
+			t.Error("delete ineffective")
+		}
+	})
+}
+
+// TestEndToEndGridOverTCP runs a real miniature grid on loopback:
+// one coordinator, two servers, one client, millisecond timescales.
+func TestEndToEndGridOverTCP(t *testing.T) {
+	const (
+		beat    = 50 * time.Millisecond
+		suspect = 500 * time.Millisecond
+	)
+	dirOf := func(name string) string { return filepath.Join(t.TempDir(), name) }
+
+	co := coordinator.New(coordinator.Config{
+		Coordinators:     []proto.NodeID{"co"},
+		HeartbeatTimeout: suspect,
+		HeartbeatPeriod:  beat,
+		DBCost:           db.CostModel{PerOp: 100 * time.Microsecond},
+	})
+	rco, err := Start(Config{ID: "co", ListenAddr: "127.0.0.1:0", Handler: co,
+		DiskDir: dirOf("co"), Logf: quietLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rco.Close()
+	dir := Directory{"co": rco.Addr()}
+
+	services := map[string]server.Service{
+		"upper": func(params []byte) ([]byte, error) {
+			out := make([]byte, len(params))
+			for i, b := range params {
+				if 'a' <= b && b <= 'z' {
+					b -= 'a' - 'A'
+				}
+				out[i] = b
+			}
+			return out, nil
+		},
+	}
+	for i := 0; i < 2; i++ {
+		sv := server.New(server.Config{
+			Coordinators:     []proto.NodeID{"co"},
+			HeartbeatPeriod:  beat,
+			SuspicionTimeout: suspect,
+			Services:         services,
+		})
+		id := proto.NodeID(fmt.Sprintf("sv%d", i))
+		rsv, err := Start(Config{ID: id, ListenAddr: "127.0.0.1:0", Handler: sv,
+			Directory: dir, DiskDir: dirOf(string(id)), Logf: quietLogf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rsv.Close()
+		rco.SetPeer(id, rsv.Addr())
+	}
+
+	gotResult := make(chan proto.Result, 1)
+	cli := client.New(client.Config{
+		User: "u", Session: 1,
+		Coordinators:     []proto.NodeID{"co"},
+		PollPeriod:       beat,
+		SuspicionTimeout: suspect,
+		Logging:          msglog.NonBlockingPessimistic,
+		Disk:             msglog.InstantDisk(),
+		OnResult: func(res proto.Result, _ time.Time) {
+			select {
+			case gotResult <- res:
+			default:
+			}
+		},
+	})
+	rcli, err := Start(Config{ID: "cli", ListenAddr: "127.0.0.1:0", Handler: cli,
+		Directory: dir, DiskDir: dirOf("cli"), Logf: quietLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcli.Close()
+	rco.SetPeer("cli", rcli.Addr())
+
+	rcli.Do(func() { cli.Submit("upper", []byte("hello grid"), 0, 0) })
+
+	select {
+	case res := <-gotResult:
+		if string(res.Output) != "HELLO GRID" {
+			t.Fatalf("result = %q", res.Output)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("RPC never completed over the real runtime")
+	}
+}

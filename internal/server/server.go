@@ -1,0 +1,530 @@
+// Package server implements the RPC-V third tier: the worker (called
+// "server" in the paper, "worker" in XtremWeb).
+//
+// A server pulls work from its preferred coordinator with periodic
+// heartbeats (connection-less: the server always initiates, the
+// coordinator only replies), executes the corresponding service in a
+// sandbox, builds an archive of the outputs, durably logs it (the
+// server-side logging protocol is necessarily pessimistic: the result
+// archive *is* the log), and uploads it until acknowledged. If the
+// preferred coordinator goes silent, the server suspects it, selects
+// another one from its merged coordinator list and runs the peer-wise
+// log synchronization before resuming.
+//
+// Off-line computing falls out of this design: a disconnected server
+// keeps executing; results accumulate in the local log and flow to a
+// coordinator whenever connectivity returns.
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"rpcv/internal/detector"
+	"rpcv/internal/node"
+	"rpcv/internal/proto"
+	"rpcv/internal/statesync"
+)
+
+// Service is a function executed in response to an RPC call. Params is
+// the raw parameter payload; it returns the result payload or an error.
+// Services must be stateless: RPC-V restricts the application scope to
+// stateless services with at-least-once semantics, so a service may be
+// executed more than once for the same call.
+type Service func(params []byte) ([]byte, error)
+
+// Config parameterizes a server.
+type Config struct {
+	// Coordinators is the initial coordinator list.
+	Coordinators []proto.NodeID
+
+	// HeartbeatPeriod is the work-pull/heartbeat period. Default
+	// detector.DefaultPeriod (5 s).
+	HeartbeatPeriod time.Duration
+
+	// SuspicionTimeout is the silence duration after which the
+	// preferred coordinator is suspected. Default detector.DefaultTimeout.
+	SuspicionTimeout time.Duration
+
+	// Parallelism is the number of tasks executed concurrently.
+	// Default 1 (a desktop machine donating its idle CPU).
+	Parallelism int
+
+	// Services maps service names to implementations. Tasks with a
+	// positive ExecTime hint are synthetic: the server charges the
+	// virtual execution time, then produces ResultSize bytes (or calls
+	// the named service if registered).
+	Services map[string]Service
+
+	// OnTaskDone, when non-nil, is invoked when a task's execution
+	// completes locally (before upload) — an experiment hook.
+	OnTaskDone func(task proto.TaskID, at time.Time)
+}
+
+func (c *Config) applyDefaults() {
+	if c.HeartbeatPeriod <= 0 {
+		c.HeartbeatPeriod = detector.DefaultPeriod
+	}
+	if c.SuspicionTimeout <= 0 {
+		c.SuspicionTimeout = detector.DefaultTimeout
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 1
+	}
+}
+
+// Server is the worker node handler.
+type Server struct {
+	cfg Config
+	env node.Env
+
+	coords    []proto.NodeID
+	preferred proto.NodeID
+	monitor   *detector.Monitor
+	beater    *detector.Beater
+
+	running map[proto.TaskID]bool
+	// backlog queues assignments received while at capacity (e.g. two
+	// heartbeat replies in flight both granted work); they run as
+	// capacity frees. Backlogged tasks count as alive for the sync
+	// protocol but are lost on crash like running ones.
+	backlog []proto.TaskAssignment
+	// unacked holds completed results awaiting a TaskResultAck, keyed
+	// by disk key; it mirrors the durable result log.
+	unacked map[proto.TaskID]*proto.TaskResult
+	// nextRetry throttles re-uploads of unacked results with
+	// exponential backoff: a large archive still crossing the network
+	// must not be re-sent on every heartbeat, or the transfers compound
+	// faster than the coordinator can drain them.
+	nextRetry map[proto.TaskID]time.Time
+	attempts  map[proto.TaskID]int
+
+	needSync  bool // run ServerSync before asking for work again
+	beatCount int  // beats since the last periodic synchronization
+
+	stopped bool
+
+	executed  int
+	uploaded  int
+	dedup     int // assignments skipped because already running/done
+	failovers int
+}
+
+// New creates a server handler.
+func New(cfg Config) *Server {
+	cfg.applyDefaults()
+	return &Server{cfg: cfg}
+}
+
+var _ node.Handler = (*Server)(nil)
+
+// Start implements node.Handler. On restart, completed-but-unacked
+// results are recovered from the durable result log and re-offered to
+// the coordinator through synchronization; tasks that were mid-
+// execution are simply lost (the coordinator will re-schedule them on
+// suspicion — at-least-once semantics).
+func (s *Server) Start(env node.Env) {
+	s.env = env
+	s.stopped = false
+	s.running = make(map[proto.TaskID]bool)
+	s.backlog = nil
+	s.unacked = make(map[proto.TaskID]*proto.TaskResult)
+	s.nextRetry = make(map[proto.TaskID]time.Time)
+	s.attempts = make(map[proto.TaskID]int)
+	s.coords = statesync.MergeNodeLists(s.cfg.Coordinators)
+	s.preferred = ""
+	s.needSync = false
+
+	s.loadResultLog()
+	// Every incarnation synchronizes with its coordinator before asking
+	// for work: the peer-wise log comparison re-offers unacked results
+	// and tells the coordinator which assignments died with the
+	// previous incarnation (intermittent crash), so they can be
+	// re-scheduled without waiting for a suspicion timeout.
+	s.needSync = true
+
+	s.monitor = detector.NewMonitor(env, detector.MonitorConfig{
+		Timeout:   s.cfg.SuspicionTimeout,
+		OnSuspect: s.onCoordinatorSuspected,
+	})
+	s.pickPreferred()
+	s.beater = detector.NewBeater(env, s.cfg.HeartbeatPeriod, s.beat)
+}
+
+// Stop implements node.Handler.
+func (s *Server) Stop() {
+	s.stopped = true
+	if s.monitor != nil {
+		s.monitor.Close()
+	}
+	if s.beater != nil {
+		s.beater.Close()
+	}
+}
+
+func (s *Server) loadResultLog() {
+	for _, key := range s.env.Disk().Keys("server/result/") {
+		raw, ok := s.env.Disk().Read(key)
+		if !ok {
+			continue
+		}
+		msg, err := proto.DecodeMessage(raw)
+		if err != nil {
+			s.env.Logf("server: corrupt result log %s: %v", key, err)
+			continue
+		}
+		if res, ok := msg.(*proto.TaskResult); ok {
+			s.unacked[res.Task] = res
+		}
+	}
+}
+
+func (s *Server) resultKey(t proto.TaskID) string {
+	return "server/result/" + strings.ReplaceAll(t.String(), "/", "_")
+}
+
+// pickPreferred chooses a preferred coordinator among the non-suspected
+// ones, deterministically from the merged list.
+func (s *Server) pickPreferred() {
+	for _, id := range s.coords {
+		if !s.monitor.Suspected(id) {
+			if s.preferred != id {
+				s.preferred = id
+				s.monitor.Watch(id)
+				s.needSync = true
+			}
+			return
+		}
+	}
+	// Everyone suspected: keep trying the first (wrong suspicions are
+	// normal; the progress condition needs us to keep knocking).
+	if len(s.coords) > 0 {
+		s.preferred = s.coords[0]
+		s.needSync = true
+	}
+}
+
+func (s *Server) onCoordinatorSuspected(id proto.NodeID) {
+	if id != s.preferred {
+		return
+	}
+	s.env.Logf("server: suspect coordinator %s, failing over", id)
+	s.failovers++
+	s.pickPreferred()
+}
+
+// ---------------------------------------------------------------------
+// Heartbeat / work pull
+// ---------------------------------------------------------------------
+
+// syncEveryBeats forces a periodic peer-wise synchronization even on a
+// healthy server (roughly once a minute at the default 5 s period):
+// the coordinator compares its "ongoing" view against the server's
+// actual state, recovering assignments lost on the best-effort network
+// that no crash or suspicion would ever surface.
+const syncEveryBeats = 12
+
+func (s *Server) beat() {
+	if s.preferred == "" {
+		s.pickPreferred()
+		if s.preferred == "" {
+			return
+		}
+	}
+	s.beatCount++
+	if s.needSync || s.beatCount%syncEveryBeats == 0 {
+		s.sendSync()
+		return
+	}
+	capacity := s.cfg.Parallelism - len(s.running) - len(s.backlog)
+	hb := &proto.Heartbeat{
+		From:     s.env.Self(),
+		Role:     proto.RoleServer,
+		Capacity: capacity,
+		WantWork: capacity > 0,
+	}
+	s.env.Send(s.preferred, hb)
+	s.retryUploads()
+}
+
+func (s *Server) sendSync() {
+	tasks := sortedTaskIDs(s.unacked)
+	running := make([]proto.TaskID, 0, len(s.running)+len(s.backlog))
+	for t := range s.running {
+		running = append(running, t)
+	}
+	sortTaskIDs(running)
+	for i := range s.backlog {
+		running = append(running, s.backlog[i].Task)
+	}
+	s.env.Send(s.preferred, &proto.ServerSync{From: s.env.Self(), Tasks: tasks, Running: running})
+}
+
+// retryBase is the first re-upload delay; it doubles per attempt up to
+// retryCap (the result stays durably logged throughout).
+const (
+	retryBase = 10 * time.Second
+	retryCap  = 5 * time.Minute
+)
+
+func (s *Server) retryUploads() {
+	now := s.env.Now()
+	for _, t := range sortedTaskIDs(s.unacked) {
+		if now.Before(s.nextRetry[t]) {
+			continue
+		}
+		s.env.Send(s.preferred, s.unacked[t])
+		s.bumpRetry(t, now)
+	}
+}
+
+func (s *Server) bumpRetry(t proto.TaskID, now time.Time) {
+	d := retryBase << s.attempts[t]
+	if d > retryCap {
+		d = retryCap
+	} else {
+		s.attempts[t]++
+	}
+	s.nextRetry[t] = now.Add(d)
+}
+
+// sortedTaskIDs returns the map's keys in a stable order: protocol
+// actions must not depend on Go's randomized map iteration, or runs
+// stop being reproducible.
+func sortedTaskIDs[V any](m map[proto.TaskID]V) []proto.TaskID {
+	out := make([]proto.TaskID, 0, len(m))
+	for t := range m {
+		out = append(out, t)
+	}
+	sortTaskIDs(out)
+	return out
+}
+
+func sortTaskIDs(ts []proto.TaskID) {
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].Call != ts[j].Call {
+			return ts[i].Call.Less(ts[j].Call)
+		}
+		return ts[i].Instance < ts[j].Instance
+	})
+}
+
+// Receive implements node.Handler.
+func (s *Server) Receive(from proto.NodeID, msg proto.Message) {
+	if s.stopped {
+		return
+	}
+	switch m := msg.(type) {
+	case *proto.HeartbeatAck:
+		s.handleHeartbeatAck(from, m)
+	case *proto.TaskResultAck:
+		s.handleResultAck(from, m)
+	case *proto.ServerSyncReply:
+		s.handleSyncReply(from, m)
+	default:
+		s.env.Logf("server: unexpected %s from %s", msg.Kind(), from)
+	}
+}
+
+func (s *Server) handleHeartbeatAck(from proto.NodeID, m *proto.HeartbeatAck) {
+	s.monitor.Observe(from)
+	if len(m.Coordinators) > 0 {
+		s.coords = statesync.MergeNodeLists(s.coords, m.Coordinators)
+	}
+	for i := range m.Tasks {
+		s.startTask(&m.Tasks[i])
+	}
+}
+
+func (s *Server) handleResultAck(from proto.NodeID, m *proto.TaskResultAck) {
+	s.monitor.Observe(from)
+	if _, ok := s.unacked[m.Task]; !ok {
+		return
+	}
+	delete(s.unacked, m.Task)
+	delete(s.nextRetry, m.Task)
+	delete(s.attempts, m.Task)
+	// The coordinator holds the result durably: garbage-collect the
+	// local log entry (distributed GC of message logs).
+	s.env.Disk().Delete(s.resultKey(m.Task))
+}
+
+func (s *Server) handleSyncReply(from proto.NodeID, m *proto.ServerSyncReply) {
+	s.monitor.Observe(from)
+	s.needSync = false
+	for _, t := range m.Drop {
+		delete(s.unacked, t)
+		delete(s.nextRetry, t)
+		delete(s.attempts, t)
+		s.env.Disk().Delete(s.resultKey(t))
+	}
+	for _, t := range m.Resend {
+		if res, ok := s.unacked[t]; ok {
+			s.env.Send(s.preferred, res)
+			s.bumpRetry(t, s.env.Now())
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------
+
+func (s *Server) startTask(t *proto.TaskAssignment) {
+	if s.running[t.Task] {
+		s.dedup++
+		return
+	}
+	if res, done := s.haveResultFor(t.Task.Call); done {
+		// Already executed (another instance): resend, don't recompute.
+		s.dedup++
+		s.env.Send(s.preferred, res)
+		return
+	}
+	if s.runningCall(t.Task.Call) {
+		// Another instance of the same call is already executing here
+		// (a spurious reschedule); its result will serve both.
+		s.dedup++
+		return
+	}
+	if len(s.running) >= s.cfg.Parallelism {
+		// Over-assignment (two heartbeat replies in flight both granted
+		// work): queue locally and run when capacity frees.
+		s.backlog = append(s.backlog, *t)
+		return
+	}
+	s.running[t.Task] = true
+	ta := *t // copy: the execution closure must not alias the ack buffer
+	if ta.ExecTime > 0 {
+		// Synthetic or timed service: charge virtual execution time.
+		s.env.After(ta.ExecTime, func() { s.completeTask(&ta) })
+		return
+	}
+	s.completeTask(&ta)
+}
+
+// runningCall reports whether any running or backlogged task executes
+// the given call.
+func (s *Server) runningCall(call proto.CallID) bool {
+	for t := range s.running {
+		if t.Call == call {
+			return true
+		}
+	}
+	for i := range s.backlog {
+		if s.backlog[i].Task.Call == call {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Server) haveResultFor(call proto.CallID) (*proto.TaskResult, bool) {
+	for t, res := range s.unacked {
+		if t.Call == call {
+			return res, true
+		}
+	}
+	return nil, false
+}
+
+// completeTask runs the service body and durably logs then uploads the
+// result. The log write precedes the upload (pessimistic logging).
+func (s *Server) completeTask(t *proto.TaskAssignment) {
+	if s.stopped {
+		return
+	}
+	output, errStr := s.execute(t)
+	delete(s.running, t.Task)
+	s.executed++
+	if s.cfg.OnTaskDone != nil {
+		s.cfg.OnTaskDone(t.Task, s.env.Now())
+	}
+	res := &proto.TaskResult{From: s.env.Self(), Task: t.Task, Output: output, Err: errStr}
+	if err := s.env.Disk().Write(s.resultKey(t.Task), proto.EncodeMessage(res)); err != nil {
+		s.env.Logf("server: log result %s: %v", t.Task, err)
+	}
+	s.unacked[t.Task] = res
+	s.env.Send(s.preferred, res)
+	s.bumpRetry(t.Task, s.env.Now())
+	s.uploaded++
+	// Start backlogged work first; otherwise pull the next task
+	// immediately instead of idling until the next periodic heartbeat
+	// (XtremWeb workers issue a work request right after a result).
+	for len(s.backlog) > 0 && len(s.running) < s.cfg.Parallelism {
+		next := s.backlog[0]
+		s.backlog = s.backlog[1:]
+		s.startTask(&next)
+	}
+	if !s.needSync && len(s.running)+len(s.backlog) < s.cfg.Parallelism {
+		s.env.Send(s.preferred, &proto.Heartbeat{
+			From:     s.env.Self(),
+			Role:     proto.RoleServer,
+			Capacity: s.cfg.Parallelism - len(s.running) - len(s.backlog),
+			WantWork: true,
+		})
+	}
+}
+
+func (s *Server) execute(t *proto.TaskAssignment) (output []byte, errStr string) {
+	if svc, ok := s.cfg.Services[t.Service]; ok {
+		out, err := svc(t.Params)
+		if err != nil {
+			return nil, err.Error()
+		}
+		return out, ""
+	}
+	if t.ExecTime > 0 || t.ResultSize > 0 {
+		// Synthetic benchmark service: produce the configured payload.
+		return makePayload(t.Task, t.ResultSize), ""
+	}
+	return nil, fmt.Sprintf("server: unknown service %q", t.Service)
+}
+
+// makePayload builds a deterministic pseudo-payload of the given size.
+func makePayload(t proto.TaskID, size int) []byte {
+	if size <= 0 {
+		return []byte(t.String())
+	}
+	out := make([]byte, size)
+	seed := t.String()
+	for i := range out {
+		out[i] = seed[i%len(seed)] ^ byte(i)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------
+
+// Stats is a snapshot of server counters.
+type Stats struct {
+	Executed  int
+	Uploaded  int
+	Unacked   int
+	Running   int
+	Backlog   int
+	Dedup     int
+	Failovers int
+	Preferred proto.NodeID
+}
+
+// StatsNow returns current counters. Event-loop only.
+func (s *Server) StatsNow() Stats {
+	return Stats{
+		Executed:  s.executed,
+		Uploaded:  s.uploaded,
+		Unacked:   len(s.unacked),
+		Running:   len(s.running),
+		Backlog:   len(s.backlog),
+		Dedup:     s.dedup,
+		Failovers: s.failovers,
+		Preferred: s.preferred,
+	}
+}
+
+// Preferred returns the current preferred coordinator (tests).
+func (s *Server) Preferred() proto.NodeID { return s.preferred }

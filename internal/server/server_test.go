@@ -1,0 +1,294 @@
+package server
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"rpcv/internal/node"
+	"rpcv/internal/proto"
+	"rpcv/internal/sim"
+)
+
+// fakeCoord is a scripted coordinator stand-in that records traffic and
+// can grant tasks on heartbeats.
+type fakeCoord struct {
+	env     node.Env
+	grant   []proto.TaskAssignment // handed out on the next WantWork beat
+	results []*proto.TaskResult
+	syncs   []*proto.ServerSync
+	ackAll  bool
+	coords  []proto.NodeID
+	silent  bool // stop answering (simulated silence without crash)
+}
+
+func (f *fakeCoord) Start(env node.Env) { f.env = env }
+func (f *fakeCoord) Stop()              {}
+func (f *fakeCoord) Receive(from proto.NodeID, msg proto.Message) {
+	if f.silent {
+		return
+	}
+	switch m := msg.(type) {
+	case *proto.Heartbeat:
+		ack := &proto.HeartbeatAck{From: f.env.Self(), Coordinators: f.coords}
+		if m.WantWork && len(f.grant) > 0 {
+			n := m.Capacity
+			if n > len(f.grant) {
+				n = len(f.grant)
+			}
+			ack.Tasks = f.grant[:n]
+			f.grant = f.grant[n:]
+		}
+		f.env.Send(from, ack)
+	case *proto.TaskResult:
+		f.results = append(f.results, m)
+		if f.ackAll {
+			f.env.Send(from, &proto.TaskResultAck{Task: m.Task})
+		}
+	case *proto.ServerSync:
+		f.syncs = append(f.syncs, m)
+		f.env.Send(from, &proto.ServerSyncReply{})
+	}
+}
+
+func task(seq, inst int) proto.TaskAssignment {
+	return proto.TaskAssignment{
+		Task: proto.TaskID{
+			Call:     proto.CallID{User: "u", Session: 1, Seq: proto.RPCSeq(seq)},
+			Instance: uint32(inst),
+		},
+		Service:    "synthetic",
+		ExecTime:   10 * time.Second,
+		ResultSize: 8,
+	}
+}
+
+func rig(t *testing.T, cfg Config) (*sim.World, *Server, *fakeCoord) {
+	t.Helper()
+	if len(cfg.Coordinators) == 0 {
+		cfg.Coordinators = []proto.NodeID{"co"}
+	}
+	w := sim.NewWorld(sim.Config{Seed: 11})
+	sv := New(cfg)
+	fc := &fakeCoord{ackAll: true}
+	w.AddNode("co", fc)
+	w.AddNode("sv", sv)
+	w.Start("co")
+	w.Start("sv")
+	return w, sv, fc
+}
+
+func TestPullExecuteUpload(t *testing.T) {
+	w, sv, fc := rig(t, Config{})
+	fc.grant = []proto.TaskAssignment{task(1, 1)}
+	w.RunFor(time.Minute)
+	if len(fc.results) == 0 {
+		t.Fatal("no result uploaded")
+	}
+	res := fc.results[0]
+	if res.Task.Call.Seq != 1 || len(res.Output) != 8 || res.Err != "" {
+		t.Fatalf("result = %+v", res)
+	}
+	st := sv.StatsNow()
+	if st.Executed != 1 || st.Unacked != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRegisteredServiceRuns(t *testing.T) {
+	w, _, fc := rig(t, Config{
+		Services: map[string]Service{
+			"double": func(params []byte) ([]byte, error) {
+				out := make([]byte, len(params))
+				for i, b := range params {
+					out[i] = b * 2
+				}
+				return out, nil
+			},
+		},
+	})
+	ta := task(1, 1)
+	ta.Service = "double"
+	ta.ExecTime = time.Second
+	ta.Params = []byte{1, 2, 3}
+	fc.grant = []proto.TaskAssignment{ta}
+	w.RunFor(time.Minute)
+	if len(fc.results) == 0 {
+		t.Fatal("no result")
+	}
+	out := fc.results[0].Output
+	if len(out) != 3 || out[0] != 2 || out[2] != 6 {
+		t.Fatalf("service output = %v", out)
+	}
+}
+
+func TestServiceErrorPropagates(t *testing.T) {
+	w, _, fc := rig(t, Config{
+		Services: map[string]Service{
+			"boom": func([]byte) ([]byte, error) { return nil, errors.New("exploded") },
+		},
+	})
+	ta := task(1, 1)
+	ta.Service = "boom"
+	ta.ExecTime = time.Second
+	fc.grant = []proto.TaskAssignment{ta}
+	w.RunFor(time.Minute)
+	if len(fc.results) == 0 || fc.results[0].Err != "exploded" {
+		t.Fatalf("error not propagated: %+v", fc.results)
+	}
+}
+
+func TestUnknownServiceFails(t *testing.T) {
+	w, _, fc := rig(t, Config{})
+	ta := task(1, 1)
+	ta.Service = "nope"
+	ta.ExecTime = 0
+	ta.ResultSize = 0
+	fc.grant = []proto.TaskAssignment{ta}
+	w.RunFor(time.Minute)
+	if len(fc.results) == 0 || fc.results[0].Err == "" {
+		t.Fatal("unknown service did not error")
+	}
+}
+
+func TestResultRetriedUntilAcked(t *testing.T) {
+	w, sv, fc := rig(t, Config{HeartbeatPeriod: 5 * time.Second})
+	fc.ackAll = false
+	fc.grant = []proto.TaskAssignment{task(1, 1)}
+	w.RunFor(3 * time.Minute)
+	if len(fc.results) < 2 {
+		t.Fatalf("result sent %d times without ack, want retries", len(fc.results))
+	}
+	if sv.StatsNow().Unacked != 1 {
+		t.Fatal("result not held as unacked")
+	}
+	// Ack arrives on the next (backed-off) retry: the log entry is
+	// garbage collected. The retry cap is five minutes.
+	fc.ackAll = true
+	w.RunFor(6 * time.Minute)
+	if sv.StatsNow().Unacked != 0 {
+		t.Fatal("ack did not clear the unacked result")
+	}
+	if n := len(w.Disk("sv").Keys("server/result/")); n != 0 {
+		t.Fatalf("result log not garbage collected: %d entries", n)
+	}
+}
+
+func TestRestartRecoversUnackedResults(t *testing.T) {
+	w, sv, fc := rig(t, Config{})
+	fc.ackAll = false
+	fc.grant = []proto.TaskAssignment{task(1, 1)}
+	w.RunFor(time.Minute)
+	if sv.StatsNow().Unacked != 1 {
+		t.Fatal("setup: no unacked result")
+	}
+	before := len(fc.results)
+	w.Restart("sv")
+	fc.ackAll = true
+	w.RunFor(time.Minute)
+	if len(fc.results) <= before {
+		t.Fatal("restarted server never re-offered its logged result")
+	}
+	if sv.StatsNow().Unacked != 0 {
+		t.Fatal("re-offered result never acked")
+	}
+}
+
+func TestSyncOnRestartReportsNothingRunning(t *testing.T) {
+	w, _, fc := rig(t, Config{})
+	fc.grant = []proto.TaskAssignment{task(1, 1)}
+	w.RunFor(7 * time.Second) // task assigned, still executing
+	w.Restart("sv")
+	w.RunFor(time.Minute)
+	if len(fc.syncs) < 2 {
+		t.Fatalf("expected syncs on boot and restart, got %d", len(fc.syncs))
+	}
+	last := fc.syncs[len(fc.syncs)-1]
+	if len(last.Running) != 0 {
+		t.Fatalf("restarted server claims running tasks: %v", last.Running)
+	}
+}
+
+func TestDedupSameCall(t *testing.T) {
+	w, sv, fc := rig(t, Config{Parallelism: 2})
+	fc.ackAll = false // keep the first result in the unacked log
+	fc.grant = []proto.TaskAssignment{task(1, 1)}
+	w.RunFor(time.Minute) // executed once, unacked
+	// A new instance of the same call arrives (coordinator rescheduled
+	// it after a wrong suspicion): the server must not recompute.
+	fc.grant = []proto.TaskAssignment{task(1, 2)}
+	w.RunFor(time.Minute)
+	if sv.StatsNow().Executed != 1 {
+		t.Fatalf("executed %d times, want 1 (dedup)", sv.StatsNow().Executed)
+	}
+	if sv.StatsNow().Dedup == 0 {
+		t.Fatal("dedup not counted")
+	}
+}
+
+func TestBacklogQueuesOverAssignment(t *testing.T) {
+	w, sv, fc := rig(t, Config{Parallelism: 1})
+	fc.grant = []proto.TaskAssignment{task(1, 1), task(2, 1), task(3, 1)}
+	w.RunFor(8 * time.Second)
+	st := sv.StatsNow()
+	if st.Running != 1 {
+		t.Fatalf("running = %d, want 1", st.Running)
+	}
+	// Eventually everything executes, one at a time.
+	w.RunFor(2 * time.Minute)
+	if sv.StatsNow().Executed != 3 {
+		t.Fatalf("executed = %d, want 3", sv.StatsNow().Executed)
+	}
+}
+
+func TestFailoverToSecondCoordinator(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 13})
+	sv := New(Config{
+		Coordinators:     []proto.NodeID{"co1", "co2"},
+		SuspicionTimeout: 20 * time.Second,
+	})
+	c1 := &fakeCoord{ackAll: true, coords: []proto.NodeID{"co1", "co2"}}
+	c2 := &fakeCoord{ackAll: true, coords: []proto.NodeID{"co1", "co2"}}
+	w.AddNode("co1", c1)
+	w.AddNode("co2", c2)
+	w.AddNode("sv", sv)
+	w.Start("co1")
+	w.Start("co2")
+	w.Start("sv")
+	w.RunFor(10 * time.Second)
+	if sv.Preferred() != "co1" {
+		t.Fatalf("preferred = %s, want co1", sv.Preferred())
+	}
+	c1.silent = true
+	w.RunFor(time.Minute)
+	if sv.Preferred() != "co2" {
+		t.Fatalf("preferred after silence = %s, want co2", sv.Preferred())
+	}
+	if sv.StatsNow().Failovers == 0 {
+		t.Fatal("failover not counted")
+	}
+	// The sync with the new coordinator happened.
+	if len(c2.syncs) == 0 {
+		t.Fatal("no sync with the new coordinator")
+	}
+}
+
+func TestCoordinatorListMerge(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 17})
+	sv := New(Config{Coordinators: []proto.NodeID{"co1"}})
+	c1 := &fakeCoord{ackAll: true, coords: []proto.NodeID{"co1", "co9"}}
+	w.AddNode("co1", c1)
+	w.AddNode("sv", sv)
+	w.Start("co1")
+	w.Start("sv")
+	w.RunFor(time.Minute)
+	found := false
+	for _, id := range sv.coords {
+		if id == "co9" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("coordinator list merge did not propagate co9")
+	}
+}
