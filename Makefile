@@ -1,0 +1,32 @@
+# RPC-V reproduction — build, test and benchmark entry points.
+#
+#   make            vet + build + test (the tier-1 gate)
+#   make bench      full benchmark run (regenerates every figure)
+#   make smoke      1-iteration benchmark smoke (fast CI signal)
+#   make shard      print the shard-scaling table (quick sweep)
+
+GO ?= go
+
+.PHONY: all vet build test bench smoke shard ci
+
+all: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+smoke:
+	$(GO) test -short -run '^$$' -bench 'BenchmarkFig4MessageLogging|BenchmarkShardScale' -benchtime 1x .
+
+shard:
+	$(GO) run ./cmd/rpcv-bench -fig shard-scale -quick
+
+ci: vet build test smoke

@@ -1,5 +1,6 @@
 // Benchmarks regenerating every figure of the paper's evaluation
-// (figures 4-11) plus the ablation studies DESIGN.md calls out. Each
+// (figures 4-11) plus the ablation studies and the shard-scaling
+// experiment (see README.md). Each
 // benchmark runs the corresponding experiment driver in quick mode and
 // reports the headline measurement as custom metrics, so
 //
@@ -13,6 +14,7 @@
 package rpcv
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -203,6 +205,26 @@ var errBadCell = errorString("bad int cell")
 type errorString string
 
 func (e errorString) Error() string { return string(e) }
+
+// BenchmarkShardScale runs the shard-scaling experiment: aggregate
+// submission throughput vs shard count under the fig-7 fault load.
+// Reported metrics: submissions per virtual second at 1, 4 and 16
+// shards (the sharded coordination layer's headline numbers).
+func BenchmarkShardScale(b *testing.B) {
+	var res experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.ShardScale(opts())
+	}
+	t := res.Tables[0]
+	for row := 0; row < t.Rows(); row++ {
+		var tp float64
+		cell := strings.ReplaceAll(t.Cell(row, 2), "e+", "e")
+		if _, err := fmt.Sscanf(cell, "%g", &tp); err != nil {
+			b.Fatalf("bad throughput cell %q: %v", t.Cell(row, 2), err)
+		}
+		b.ReportMetric(tp, "submits/s-"+t.Cell(row, 0)+"shard")
+	}
+}
 
 // BenchmarkSubmissionThroughput is a micro-benchmark of the simulated
 // client/coordinator submission path itself (how many virtual RPC

@@ -8,8 +8,8 @@
 //	rpcv-bench -fig 9 -seed 42     # different randomness
 //
 // Absolute numbers come from the calibrated simulator, not the 2004
-// testbed; EXPERIMENTS.md documents the shape comparisons with the
-// paper's figures.
+// testbed; the experiments package's tests assert the shape
+// comparisons with the paper's figures.
 package main
 
 import (
@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,10,11 or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,10,11, ablation-*, shard-scale, or all")
 	quick := flag.Bool("quick", false, "reduced sweeps and populations")
 	seed := flag.Int64("seed", 2004, "random seed")
 	flag.Parse()
@@ -36,9 +36,11 @@ func main() {
 		"ablation-heartbeat":   experiments.AblationHeartbeat,
 		"ablation-replication": experiments.AblationReplicationPeriod,
 		"ablation-recovery":    experiments.AblationRecovery,
+		"shard-scale":          experiments.ShardScale,
 	}
 	order := []string{"4", "5", "6", "7", "8", "9", "10", "11",
-		"ablation-heartbeat", "ablation-replication", "ablation-recovery"}
+		"ablation-heartbeat", "ablation-replication", "ablation-recovery",
+		"shard-scale"}
 
 	var selected []string
 	if *fig == "all" {
@@ -47,7 +49,7 @@ func main() {
 		for _, f := range strings.Split(*fig, ",") {
 			f = strings.TrimSpace(f)
 			if _, ok := runners[f]; !ok {
-				fmt.Fprintf(os.Stderr, "rpcv-bench: unknown figure %q (want 4..11, ablation-*, or all)\n", f)
+				fmt.Fprintf(os.Stderr, "rpcv-bench: unknown figure %q (want 4..11, ablation-*, shard-scale, or all)\n", f)
 				os.Exit(2)
 			}
 			selected = append(selected, f)

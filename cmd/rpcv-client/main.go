@@ -36,6 +36,8 @@ func main() {
 	logging := flag.String("logging", "non-blocking-pessimistic",
 		"message logging strategy: optimistic | blocking | non-blocking")
 	wait := flag.Duration("wait", 5*time.Minute, "overall deadline")
+	shardMap := flag.String("shardmap", "", "consistent-hash shard topology (same syntax as rpcv-coordinator); empty: unsharded")
+	shardVersion := flag.Uint64("shardversion", 1, "cached shard map version")
 	flag.Parse()
 
 	dirMap, _, err := shared.ParseDirectory(*coords)
@@ -52,6 +54,22 @@ func main() {
 		coordAddrs[string(id)] = addr
 	}
 
+	smap, err := shared.ParseShardMap(*shardMap, *shardVersion, 0)
+	if err != nil {
+		log.Fatalf("rpcv-client: -shardmap: %v", err)
+	}
+	if smap != nil {
+		// Every map member must be dialable, or routing to its shard
+		// silently drops submissions until the deadline expires.
+		for s := 0; s < smap.Shards(); s++ {
+			for _, member := range smap.Ring(s) {
+				if _, ok := dirMap[member]; !ok {
+					log.Fatalf("rpcv-client: -shardmap member %s has no address in -coordinators", member)
+				}
+			}
+		}
+	}
+
 	sess, err := gridrpc.Dial(gridrpc.Config{
 		User:         *user,
 		Session:      *session,
@@ -59,6 +77,7 @@ func main() {
 		ListenAddr:   *listen,
 		DiskDir:      *disk,
 		Logging:      strat,
+		Shard:        smap,
 	})
 	if err != nil {
 		log.Fatalf("rpcv-client: %v", err)

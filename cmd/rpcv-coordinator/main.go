@@ -39,6 +39,9 @@ func main() {
 	replication := flag.Duration("replication", 60*time.Second, "passive replication period")
 	heartbeat := flag.Duration("heartbeat", 5*time.Second, "heartbeat period")
 	timeout := flag.Duration("timeout", 30*time.Second, "fault suspicion timeout")
+	shardMap := flag.String("shardmap", "", "consistent-hash shard topology: rings separated by ';', members by ',' (e.g. \"coord-a,coord-b;coord-c,coord-d\"); empty: unsharded")
+	shardVersion := flag.Uint64("shardversion", 1, "shard map version (bump when redeploying a changed topology)")
+	shardSync := flag.Duration("shardsync", 0, "cross-shard replication period (0: same as -replication)")
 	flag.Parse()
 
 	dir, coordIDs, err := shared.ParseDirectory(*peers)
@@ -54,12 +57,42 @@ func main() {
 	}
 	coordIDs = append(coordIDs, proto.NodeID(*id))
 
+	smap, err := shared.ParseShardMap(*shardMap, *shardVersion, 0)
+	if err != nil {
+		log.Fatalf("rpcv-coordinator: -shardmap: %v", err)
+	}
+	if smap != nil {
+		ring := smap.RingOf(proto.NodeID(*id))
+		if ring < 0 {
+			log.Fatalf("rpcv-coordinator: %s is not a member of -shardmap", *id)
+		}
+		// Every other map member must be dialable: ring-mates for
+		// replication, cross-shard coordinators for guard probes and
+		// ShardSync. A missing address would silently drop those sends.
+		for s := 0; s < smap.Shards(); s++ {
+			for _, member := range smap.Ring(s) {
+				if member == proto.NodeID(*id) {
+					continue
+				}
+				if _, ok := dir[member]; !ok {
+					log.Fatalf("rpcv-coordinator: -shardmap member %s has no address in -peers", member)
+				}
+			}
+		}
+		// Sharded: the replication ring is this shard's member list, not
+		// the full -peers set (which still provides the addresses of
+		// cross-shard coordinators for guard probes and ShardSync).
+		coordIDs = smap.Ring(ring)
+	}
+
 	co := coordinator.New(coordinator.Config{
 		Coordinators:      coordIDs,
 		ReplicationPeriod: *replication,
 		HeartbeatPeriod:   *heartbeat,
 		HeartbeatTimeout:  *timeout,
 		DBCost:            db.RealLifeCost(),
+		Shard:             smap,
+		ShardSyncPeriod:   *shardSync,
 		OnJobFinished: func(call proto.CallID, at time.Time) {
 			log.Printf("finished %s at %s", call, at.Format(time.RFC3339))
 		},

@@ -12,8 +12,12 @@
 // models, a real-time TCP runtime, a GridRPC-style API, a fault
 // generator, and the synthetic + Alcatel-like workloads.
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// per-experiment index, and EXPERIMENTS.md for the paper-vs-measured
-// comparison of every figure. The benchmarks in bench_test.go
-// regenerate each figure; cmd/rpcv-bench prints them as tables.
+// Beyond the paper, internal/shard adds a sharded coordination layer:
+// consistent-hash routing of client sessions across multiple
+// independent coordinator rings, with cross-shard replication and
+// whole-ring failover.
+//
+// See README.md for the package tour and the shard subsystem overview.
+// The benchmarks in bench_test.go regenerate each figure;
+// cmd/rpcv-bench prints them as tables.
 package rpcv

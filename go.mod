@@ -1,0 +1,3 @@
+module rpcv
+
+go 1.24

@@ -25,6 +25,7 @@ import (
 	"rpcv/internal/msglog"
 	"rpcv/internal/node"
 	"rpcv/internal/proto"
+	"rpcv/internal/shard"
 	"rpcv/internal/statesync"
 )
 
@@ -66,6 +67,19 @@ type Config struct {
 	// other trace). Zero means 2x SuspicionTimeout; negative disables
 	// the check (benchmarks measuring raw submission cost).
 	AckResyncTimeout time.Duration
+
+	// Shard is the cached consistent-hash shard map. When it describes
+	// more than one ring, the client routes to its session's owner ring
+	// first and walks the successor-shard chain on suspicion; a
+	// ShardRedirect carrying a newer map replaces the cache. Nil means
+	// unsharded routing over Coordinators.
+	Shard *shard.Map
+
+	// OnSyncReply, when non-nil, receives the round-trip time of each
+	// completed client/coordinator synchronization (experiment hook:
+	// the shard-scaling experiment reports sync latency per shard
+	// count).
+	OnSyncReply func(rtt time.Duration)
 }
 
 func (c *Config) applyDefaults() {
@@ -110,6 +124,9 @@ type Client struct {
 	coords  []proto.NodeID
 	pref    proto.NodeID
 	monitor *detector.Monitor
+	smap    *shard.Map
+
+	syncSentAt time.Time // pending sync round trip, for OnSyncReply
 
 	nextSeq proto.RPCSeq
 	calls   map[proto.RPCSeq]*call
@@ -130,6 +147,7 @@ type Client struct {
 	completed int
 	failovers int
 	syncs     int
+	redirects int
 }
 
 // New creates a client handler.
@@ -148,6 +166,8 @@ func (c *Client) Start(env node.Env) {
 	c.stopped = false
 	c.calls = make(map[proto.RPCSeq]*call)
 	c.coords = statesync.MergeNodeLists(c.cfg.Coordinators)
+	c.smap = c.cfg.Shard
+	c.syncSentAt = time.Time{}
 	c.log = msglog.New(env, msglog.Config{
 		Prefix:   "client/submit/",
 		Strategy: c.cfg.Logging,
@@ -242,7 +262,8 @@ func (c *Client) recoverFromLog() {
 }
 
 func (c *Client) pickPreferred() {
-	for _, id := range c.coords {
+	order := c.routeOrder()
+	for _, id := range order {
 		if !c.monitor.Suspected(id) {
 			if c.pref != id {
 				c.pref = id
@@ -251,9 +272,31 @@ func (c *Client) pickPreferred() {
 			return
 		}
 	}
-	if len(c.coords) > 0 {
-		c.pref = c.coords[0]
+	if len(order) > 0 {
+		c.pref = order[0]
 	}
+}
+
+// routeOrder returns the coordinators in failover preference order.
+// Unsharded: the merged list's common sorted order. Sharded: the
+// session's owner ring first, then the successor-shard chain — so a
+// whole-ring loss steers the client to exactly the ring that adopted
+// its sessions — plus any coordinators learned outside the map, last.
+func (c *Client) routeOrder() []proto.NodeID {
+	if c.smap == nil || c.smap.Shards() <= 1 {
+		return c.coords
+	}
+	order := c.smap.RouteOrder(c.cfg.User, c.cfg.Session)
+	seen := make(map[proto.NodeID]bool, len(order))
+	for _, id := range order {
+		seen[id] = true
+	}
+	for _, id := range c.coords {
+		if !seen[id] {
+			order = append(order, id)
+		}
+	}
+	return order
 }
 
 func (c *Client) onCoordinatorSuspected(id proto.NodeID) {
@@ -374,9 +417,67 @@ func (c *Client) Receive(from proto.NodeID, msg proto.Message) {
 		c.handleSyncReply(from, m)
 	case *proto.FetchReply:
 		c.handleFetchReply(from, m)
+	case *proto.ShardRedirect:
+		c.handleShardRedirect(from, m)
+	case *proto.ShardMapReply:
+		c.handleShardMapReply(from, m)
 	default:
 		c.env.Logf("client: unexpected %s from %s", msg.Kind(), from)
 	}
+}
+
+// handleShardRedirect processes a "wrong ring" answer: adopt the newer
+// map if the coordinator sent one, re-route, and retransmit the bounced
+// submission. When the map is already current the redirect means our
+// suspicion-driven failover outran the owner ring's adoption by its
+// successor; the preferred pick stands and the periodic poll/ack-resync
+// machinery retries until the successor starts accepting.
+func (c *Client) handleShardRedirect(from proto.NodeID, m *proto.ShardRedirect) {
+	c.monitor.Observe(from)
+	if m.User != c.cfg.User || m.Session != c.cfg.Session {
+		return
+	}
+	c.redirects++
+	updated := false
+	if !m.Map.Empty() && (c.smap == nil || m.Map.Version > c.smap.Version()) {
+		c.smap = shard.FromState(m.Map)
+		updated = true
+		c.env.Logf("client: shard map updated to version %d (%d shards)", c.smap.Version(), c.smap.Shards())
+	}
+	prev := c.pref
+	c.pickPreferred()
+	moved := c.pref != prev
+	// Resend the bounced call only when the routing actually changed;
+	// an unconditional resend to an unchanged preferred would bounce
+	// straight back, a redirect/resend loop paced only by the network.
+	if m.Call.Seq != 0 && (updated || moved) {
+		c.resendSubmit(m.Call.Seq)
+	}
+	if moved {
+		c.sendSync()
+	}
+}
+
+// handleShardMapReply caches a newer topology from an explicit
+// ShardMapRequest.
+func (c *Client) handleShardMapReply(from proto.NodeID, m *proto.ShardMapReply) {
+	c.monitor.Observe(from)
+	if m.Map.Empty() {
+		return
+	}
+	if c.smap == nil || m.Map.Version > c.smap.Version() {
+		c.smap = shard.FromState(m.Map)
+		c.pickPreferred()
+	}
+}
+
+// RequestShardMap asks the preferred coordinator for the current shard
+// topology (a client booting without a cached map).
+func (c *Client) RequestShardMap() {
+	if c.pref == "" {
+		return
+	}
+	c.env.Send(c.pref, &proto.ShardMapRequest{From: c.env.Self()})
 }
 
 func (c *Client) handleSubmitAck(from proto.NodeID, m *proto.SubmitAck) {
@@ -427,6 +528,7 @@ func (c *Client) sendSync() {
 		return
 	}
 	c.syncs++
+	c.syncSentAt = c.env.Now()
 	c.env.Send(c.pref, &proto.SyncRequest{
 		User:    c.cfg.User,
 		Session: c.cfg.Session,
@@ -453,6 +555,10 @@ func (c *Client) handleSyncReply(from proto.NodeID, m *proto.SyncReply) {
 	if m.User != c.cfg.User || m.Session != c.cfg.Session {
 		return
 	}
+	if c.cfg.OnSyncReply != nil && !c.syncSentAt.IsZero() {
+		c.cfg.OnSyncReply(c.env.Now().Sub(c.syncSentAt))
+	}
+	c.syncSentAt = time.Time{}
 	// Resend calls the coordinator does not know. Known lists only
 	// arrive when we lost our log; with a log we conservatively resend
 	// everything past the coordinator's max plus any unacked below it.
@@ -559,6 +665,7 @@ type Stats struct {
 	Results    int
 	Failovers  int
 	Syncs      int
+	Redirects  int
 	Preferred  proto.NodeID
 	LoggedSeqs int
 }
@@ -570,6 +677,7 @@ func (c *Client) StatsNow() Stats {
 		Completed:  c.completed,
 		Failovers:  c.failovers,
 		Syncs:      c.syncs,
+		Redirects:  c.redirects,
 		Preferred:  c.pref,
 		LoggedSeqs: c.log.Len(),
 	}
@@ -606,6 +714,9 @@ func (c *Client) Result(seq proto.RPCSeq) (*proto.Result, bool) {
 
 // Preferred returns the current preferred coordinator.
 func (c *Client) Preferred() proto.NodeID { return c.pref }
+
+// ShardMap returns the currently cached shard map (nil when unsharded).
+func (c *Client) ShardMap() *shard.Map { return c.smap }
 
 // GCNow garbage-collects the message log: entries whose calls have a
 // delivered result are flushed (their information is safely stored

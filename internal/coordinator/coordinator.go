@@ -30,6 +30,7 @@ import (
 	"rpcv/internal/detector"
 	"rpcv/internal/node"
 	"rpcv/internal/proto"
+	"rpcv/internal/shard"
 	"rpcv/internal/statesync"
 )
 
@@ -73,6 +74,20 @@ type Config struct {
 	// reaches the finished state on this coordinator (experiment hook:
 	// figures 9-11 plot exactly this counter over time).
 	OnJobFinished func(call proto.CallID, at time.Time)
+
+	// Shard, when non-nil and describing more than one ring, places
+	// this coordinator in the sharded coordination layer: sessions
+	// hashing to a foreign shard are redirected (ShardRedirect) instead
+	// of served, dirty records are cross-replicated to the successor
+	// shard, and the shards this coordinator's ring succeeds on the hash
+	// circle are guarded — their sessions are adopted when their whole
+	// ring goes silent. Coordinators is then this ring's member list
+	// only; the paper's protocol runs unchanged inside the ring.
+	Shard *shard.Map
+
+	// ShardSyncPeriod is the period of cross-shard state propagation to
+	// the successor shard. Zero means ReplicationPeriod.
+	ShardSyncPeriod time.Duration
 }
 
 func (c *Config) applyDefaults() {
@@ -131,6 +146,27 @@ type Coordinator struct {
 	lastReplDur time.Duration
 	replRounds  uint64
 
+	// Sharded coordination layer (nil/empty when unsharded).
+	smap     *shard.Map
+	shardIdx int   // this coordinator's shard; -1 when unsharded
+	guarded  []int // shards whose hash-circle successor is this shard
+	guard    *detector.Monitor
+	adopted  map[int]bool
+	// fromShard maps calls learned via cross-shard sync to their source
+	// shard; they are held passively (never scheduled) until the source
+	// shard is adopted.
+	fromShard map[proto.CallID]int
+
+	// Cross-shard replication round state, mirroring the intra-ring
+	// dirty/inFlight machinery.
+	xdirty    map[proto.CallID]bool
+	xinFlight []proto.CallID
+	xpending  bool
+	xround    uint64
+	xtargetIx int // rotates through successor-ring members on silence
+	xtimer    node.Timer
+	xrounds   uint64
+
 	stopped bool
 
 	// Metrics.
@@ -139,6 +175,8 @@ type Coordinator struct {
 	submitsReceived int
 	dupResults      int
 	rescheduled     int
+	redirects       int
+	adoptions       int
 }
 
 type ongoingInfo struct {
@@ -188,6 +226,28 @@ func (c *Coordinator) Start(env node.Env) {
 
 	c.coords = statesync.MergeNodeLists(c.cfg.Coordinators, []proto.NodeID{env.Self()})
 
+	c.smap = nil
+	c.shardIdx = -1
+	c.guarded = nil
+	c.adopted = make(map[int]bool)
+	c.fromShard = make(map[proto.CallID]int)
+	c.xdirty = make(map[proto.CallID]bool)
+	c.xinFlight = nil
+	c.xpending = false
+	if m := c.cfg.Shard; m != nil && m.Shards() > 1 {
+		if idx := m.RingOf(env.Self()); idx >= 0 {
+			c.smap = m
+			c.shardIdx = idx
+			for s := 0; s < m.Shards(); s++ {
+				if s != idx && m.SuccessorShard(s) == idx {
+					c.guarded = append(c.guarded, s)
+				}
+			}
+		} else {
+			env.Logf("coordinator: not a member of the shard map, running unsharded")
+		}
+	}
+
 	c.loadEpoch()
 	c.loadStore()
 
@@ -199,8 +259,23 @@ func (c *Coordinator) Start(env node.Env) {
 		Timeout:   c.cfg.HeartbeatTimeout,
 		OnSuspect: c.onCoordinatorSuspected,
 	})
+	if len(c.guarded) > 0 {
+		// Guard the predecessor shards from boot: a ring that is already
+		// dead (or dies before ever speaking to us) must still be
+		// adopted once the suspicion timeout elapses.
+		c.guard = detector.NewMonitor(env, detector.MonitorConfig{
+			Timeout:   c.cfg.HeartbeatTimeout,
+			OnSuspect: c.onGuardSuspected,
+		})
+		for _, s := range c.guarded {
+			for _, id := range c.smap.Ring(s) {
+				c.guard.Watch(id)
+			}
+		}
+	}
 
 	c.scheduleReplication()
+	c.scheduleShardSync()
 	// Ring heartbeats: probe fellow coordinators every period so that
 	// ring suspicion (and recovery from wrong suspicion) works on the
 	// heartbeat timescale even when the replication period is longer.
@@ -212,14 +287,21 @@ func (c *Coordinator) Start(env node.Env) {
 // re-observed when they answer) and to the effective successor when it
 // differs.
 func (c *Coordinator) ringBeat() {
-	raw := statesync.Successor(c.env.Self(), c.coords, nil)
-	if raw == "" {
-		return
-	}
 	hb := &proto.Heartbeat{From: c.env.Self(), Role: proto.RoleCoordinator}
-	c.env.Send(raw, hb)
-	if eff := c.Successor(); eff != "" && eff != raw {
-		c.env.Send(eff, hb)
+	raw := statesync.Successor(c.env.Self(), c.coords, nil)
+	if raw != "" {
+		c.env.Send(raw, hb)
+		if eff := c.Successor(); eff != "" && eff != raw {
+			c.env.Send(eff, hb)
+		}
+	}
+	// Probe the guarded shards' coordinators too: their acks feed the
+	// guard monitor, so a wrongly suspected ring is re-trusted and a
+	// truly dead one is adopted on the heartbeat timescale.
+	for _, s := range c.guarded {
+		for _, id := range c.smap.Ring(s) {
+			c.env.Send(id, hb)
+		}
 	}
 }
 
@@ -232,8 +314,14 @@ func (c *Coordinator) Stop() {
 	if c.ring != nil {
 		c.ring.Close()
 	}
+	if c.guard != nil {
+		c.guard.Close()
+	}
 	if c.replTimer != nil {
 		c.replTimer.Stop()
+	}
+	if c.xtimer != nil {
+		c.xtimer.Stop()
 	}
 	if c.beater != nil {
 		c.beater.Close()
@@ -276,7 +364,10 @@ func (c *Coordinator) loadStore() {
 		if rec.State == proto.TaskPending {
 			c.enqueue(rec.Call)
 		}
-		c.dirty[rec.Call] = true
+		// markDirty (not a bare assignment) so a restart also re-feeds
+		// the cross-shard dirty set: the successor shard may have missed
+		// rounds while we were down.
+		c.markDirty(rec.Call)
 	}
 	c.jobsAccepted = c.store.Len()
 }
@@ -318,6 +409,12 @@ func (c *Coordinator) Receive(from proto.NodeID, msg proto.Message) {
 		c.handleReplicaUpdate(from, m)
 	case *proto.ReplicaAck:
 		c.handleReplicaAck(from, m)
+	case *proto.ShardMapRequest:
+		c.handleShardMapRequest(from, m)
+	case *proto.ShardSync:
+		c.handleShardSync(from, m)
+	case *proto.ShardSyncAck:
+		c.handleShardSyncAck(from, m)
 	default:
 		c.env.Logf("coordinator: unexpected %s from %s", msg.Kind(), from)
 	}
@@ -349,6 +446,10 @@ func (c *Coordinator) noteSeq(call proto.CallID) {
 
 func (c *Coordinator) handleSubmit(from proto.NodeID, m *proto.Submit) {
 	c.submitsReceived++
+	if !c.ownsSession(m.Call.User, m.Call.Session) {
+		c.sendRedirect(from, m.Call.User, m.Call.Session, m.Call)
+		return
+	}
 	if _, ok := c.store.Peek(m.Call); ok {
 		// Duplicate submission (client retry or resend after sync):
 		// acknowledge with the current state, do not reset the job.
@@ -385,6 +486,10 @@ func (c *Coordinator) maxSeq(user proto.UserID, session proto.SessionID) proto.R
 }
 
 func (c *Coordinator) handlePoll(from proto.NodeID, m *proto.Poll) {
+	if !c.ownsSession(m.User, m.Session) {
+		c.sendRedirect(from, m.User, m.Session, proto.CallID{})
+		return
+	}
 	have := make(map[proto.RPCSeq]bool, len(m.Have))
 	for _, s := range m.Have {
 		have[s] = true
@@ -411,6 +516,10 @@ func (c *Coordinator) handlePoll(from proto.NodeID, m *proto.Poll) {
 // database read: the per-entry cost (plus the round trip) is what makes
 // this direction of figure 6 slower than the push direction.
 func (c *Coordinator) handleFetchResult(from proto.NodeID, m *proto.FetchResult) {
+	if !c.ownsSession(m.User, m.Session) {
+		c.sendRedirect(from, m.User, m.Session, proto.CallID{})
+		return
+	}
 	call := proto.CallID{User: m.User, Session: m.Session, Seq: m.Seq}
 	rec, ok := c.store.Get(call)
 	reply := &proto.FetchReply{Call: call, Known: ok}
@@ -427,6 +536,10 @@ func (c *Coordinator) handleFetchResult(from proto.NodeID, m *proto.FetchResult)
 }
 
 func (c *Coordinator) handleSyncRequest(from proto.NodeID, m *proto.SyncRequest) {
+	if !c.ownsSession(m.User, m.Session) {
+		c.sendRedirect(from, m.User, m.Session, proto.CallID{})
+		return
+	}
 	known := c.store.Select(func(r *proto.JobRecord) bool {
 		return r.Call.User == m.User && r.Call.Session == m.Session
 	})
@@ -456,8 +569,16 @@ func (c *Coordinator) handleHeartbeat(from proto.NodeID, m *proto.Heartbeat) {
 	case proto.RoleServer:
 		c.servers.Observe(from)
 	case proto.RoleCoordinator:
-		c.ring.Observe(from)
-		c.coords = statesync.MergeNodeLists(c.coords, []proto.NodeID{from})
+		// Only ring-mates join the intra-ring membership list; a
+		// cross-shard probe is a guard sign of life, never a merge
+		// (merging it would re-route the replication ring across
+		// shards).
+		if c.inMyRing(from) {
+			c.ring.Observe(from)
+			c.coords = statesync.MergeNodeLists(c.coords, []proto.NodeID{from})
+		} else if c.guard != nil {
+			c.guard.Observe(from)
+		}
 	}
 	ack := &proto.HeartbeatAck{From: c.env.Self(), Coordinators: c.coords}
 	if m.WantWork && m.Capacity > 0 {
@@ -471,12 +592,40 @@ func (c *Coordinator) handleHeartbeat(from proto.NodeID, m *proto.Heartbeat) {
 }
 
 // handleHeartbeatAck processes a fellow coordinator's answer to a ring
-// heartbeat: a sign of life and a coordinator-list merge.
+// heartbeat: a sign of life and a coordinator-list merge. Acks from a
+// guarded shard's coordinator feed the guard monitor instead.
 func (c *Coordinator) handleHeartbeatAck(from proto.NodeID, m *proto.HeartbeatAck) {
+	if !c.inMyRing(from) {
+		if c.guard != nil {
+			c.guard.Observe(from)
+		}
+		return
+	}
 	c.ring.Observe(from)
 	if len(m.Coordinators) > 0 {
-		c.coords = statesync.MergeNodeLists(c.coords, m.Coordinators)
+		c.coords = statesync.MergeNodeLists(c.coords, c.ringOnly(m.Coordinators))
 	}
+}
+
+// inMyRing reports whether a fellow coordinator shares this ring. When
+// unsharded every coordinator does.
+func (c *Coordinator) inMyRing(id proto.NodeID) bool {
+	return c.smap == nil || c.smap.RingOf(id) == c.shardIdx
+}
+
+// ringOnly filters a merged coordinator list down to this ring's
+// members (plus unknown IDs when unsharded).
+func (c *Coordinator) ringOnly(ids []proto.NodeID) []proto.NodeID {
+	if c.smap == nil {
+		return ids
+	}
+	out := make([]proto.NodeID, 0, len(ids))
+	for _, id := range ids {
+		if c.smap.RingOf(id) == c.shardIdx {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // assign pops up to limit pending jobs (FCFS) and binds them to server.
@@ -734,7 +883,9 @@ func (c *Coordinator) ReplicateNow() {
 func (c *Coordinator) handleReplicaUpdate(from proto.NodeID, m *proto.ReplicaUpdate) {
 	c.ring.Observe(from)
 	c.predecessor = from
-	c.coords = statesync.MergeNodeLists(c.coords, []proto.NodeID{from})
+	if c.inMyRing(from) {
+		c.coords = statesync.MergeNodeLists(c.coords, []proto.NodeID{from})
+	}
 	applied := 0
 	for i := range m.Jobs {
 		incoming := &m.Jobs[i]
@@ -854,6 +1005,347 @@ func (c *Coordinator) markDirty(call proto.CallID) {
 			}
 		}
 	}
+	// Cross-shard replication tracks its own dirty set with the same
+	// lost-update guard.
+	if c.smap != nil {
+		c.xdirty[call] = true
+		if c.xpending {
+			for i, inflight := range c.xinFlight {
+				if inflight == call {
+					c.xinFlight[i] = c.xinFlight[len(c.xinFlight)-1]
+					c.xinFlight = c.xinFlight[:len(c.xinFlight)-1]
+					break
+				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Sharded coordination layer
+// ---------------------------------------------------------------------
+
+// ownsSession decides whether this coordinator serves a session: always
+// when unsharded; when sharded, if the session hashes to this shard or
+// to a shard this coordinator has adopted. A guarded shard whose entire
+// ring is currently suspected is adopted lazily here, so a client that
+// failed over faster than the guard sweep is not bounced back to a dead
+// ring.
+func (c *Coordinator) ownsSession(user proto.UserID, session proto.SessionID) bool {
+	if c.smap == nil {
+		return true
+	}
+	owner := c.smap.Owner(user, session)
+	if owner == c.shardIdx || c.adopted[owner] {
+		return true
+	}
+	if c.isGuarded(owner) && c.ringAllSuspected(owner) {
+		c.adopt(owner)
+		return true
+	}
+	return false
+}
+
+// sendRedirect answers a misrouted client request with the owner shard
+// and the current topology, repairing a stale cached map in one round
+// trip. Redirects are free of database cost: the request never reaches
+// the store.
+func (c *Coordinator) sendRedirect(to proto.NodeID, user proto.UserID, session proto.SessionID, call proto.CallID) {
+	c.redirects++
+	c.env.Send(to, &proto.ShardRedirect{
+		From:    c.env.Self(),
+		User:    user,
+		Session: session,
+		Call:    call,
+		Shard:   c.smap.Owner(user, session),
+		Map:     c.smap.State(),
+	})
+}
+
+func (c *Coordinator) handleShardMapRequest(from proto.NodeID, _ *proto.ShardMapRequest) {
+	reply := &proto.ShardMapReply{}
+	if c.smap != nil {
+		reply.Map = c.smap.State()
+	}
+	c.env.Send(from, reply)
+}
+
+func (c *Coordinator) isGuarded(s int) bool {
+	for _, g := range c.guarded {
+		if g == s {
+			return true
+		}
+	}
+	return false
+}
+
+// ringAllSuspected reports whether every coordinator of shard s is
+// currently suspected by the guard monitor.
+func (c *Coordinator) ringAllSuspected(s int) bool {
+	if c.guard == nil {
+		return false
+	}
+	for _, id := range c.smap.Ring(s) {
+		if !c.guard.Suspected(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// onGuardSuspected fires on each new suspicion of a guarded shard's
+// coordinator; when a whole guarded ring is silent, its sessions are
+// adopted.
+func (c *Coordinator) onGuardSuspected(proto.NodeID) {
+	for _, s := range c.guarded {
+		if !c.adopted[s] && c.ringAllSuspected(s) {
+			c.adopt(s)
+		}
+	}
+}
+
+// adopt takes over a lost shard: the records previously learned through
+// cross-shard sync are released into the scheduling queue (finished
+// ones are already served from the store), and the session ownership
+// check starts accepting the shard's clients — which land here anyway,
+// since the client failover order follows the same successor relation.
+// Adoption is sticky for this incarnation: if the lost ring later
+// revives, both shards serve the sessions (duplicate execution is
+// at-least-once semantics, and results deduplicate by CallID).
+func (c *Coordinator) adopt(s int) {
+	if c.adopted[s] {
+		return
+	}
+	c.adopted[s] = true
+	c.adoptions++
+	released := 0
+	for _, call := range sortedCalls(c.fromShard) {
+		if c.fromShard[call] != s {
+			continue
+		}
+		delete(c.fromShard, call)
+		rec, ok := c.store.Peek(call)
+		if !ok || rec.State == proto.TaskFinished {
+			continue
+		}
+		if rec.Service == "" && rec.Params == nil {
+			continue // no data to schedule from; the client will resend
+		}
+		rec.State = proto.TaskPending
+		c.store.Put(rec)
+		c.persistJob(rec)
+		c.enqueue(call)
+		c.markDirty(call)
+		released++
+	}
+	c.env.Logf("coordinator: adopted shard %d (%d held tasks released)", s, released)
+}
+
+func (c *Coordinator) scheduleShardSync() {
+	if c.smap == nil {
+		return
+	}
+	period := c.cfg.ShardSyncPeriod
+	if period <= 0 {
+		period = c.cfg.ReplicationPeriod
+	}
+	if period <= 0 {
+		return
+	}
+	c.xtimer = c.env.After(period, func() {
+		c.ShardSyncNow()
+		c.scheduleShardSync()
+	})
+}
+
+// ShardSyncNow starts one cross-shard replication round: dirty records
+// plus the full per-session sequence sets of owned sessions go to one
+// member of the successor shard's ring. Exported for tests and manual
+// drivers (like ReplicateNow).
+func (c *Coordinator) ShardSyncNow() {
+	if c.smap == nil || c.xpending || c.stopped {
+		return
+	}
+	succ := c.smap.SuccessorShard(c.shardIdx)
+	if succ == c.shardIdx {
+		return
+	}
+	ring := c.smap.Ring(succ)
+	if len(ring) == 0 {
+		return
+	}
+	target := ring[c.xtargetIx%len(ring)]
+	c.xround++
+	round := c.xround
+	msg := &proto.ShardSync{
+		From:  c.env.Self(),
+		Shard: c.shardIdx,
+		Epoch: c.epoch,
+		Round: round,
+	}
+	for _, call := range sortedCalls(c.xdirty) {
+		rec, ok := c.store.Peek(call)
+		if !ok {
+			continue
+		}
+		clone := rec.Clone()
+		if len(clone.Params) > c.cfg.ReplicateParamsLimit {
+			clone.Params = nil // file archives are never replicated
+		}
+		msg.Jobs = append(msg.Jobs, *clone)
+	}
+	msg.Sessions = c.dirtySessionSeqs(msg.Jobs)
+	c.xinFlight = c.xinFlight[:0]
+	for call := range c.xdirty {
+		c.xinFlight = append(c.xinFlight, call)
+	}
+	c.xpending = true
+	c.env.Send(target, msg)
+	// A silent target must not wedge cross-shard sync: after the
+	// suspicion timeout, give up on this round and rotate to another
+	// successor-ring member.
+	c.env.After(c.cfg.HeartbeatTimeout, func() {
+		if c.xpending && c.xround == round {
+			c.xpending = false
+			c.xtargetIx++
+		}
+	})
+}
+
+// dirtySessionSeqs advertises the exact sequence sets this coordinator
+// stores for the owned sessions carried by the current round — the
+// input of the receiver's set-difference (statesync.SeqSetDiff), which
+// detects records an earlier lost round never delivered. Advertising
+// only the round's active sessions (rather than every session ever
+// stored) keeps idle rounds O(1) and message size proportional to
+// recent activity; a coordinator restart re-dirties its whole store,
+// so full coverage recurs exactly when histories may have diverged.
+func (c *Coordinator) dirtySessionSeqs(jobs []proto.JobRecord) []proto.SessionSeqs {
+	if len(jobs) == 0 {
+		return nil
+	}
+	active := make(map[sessionKey]bool, len(jobs))
+	for i := range jobs {
+		call := jobs[i].Call
+		if c.smap.Owner(call.User, call.Session) == c.shardIdx {
+			active[sessionKey{call.User, call.Session}] = true
+		}
+	}
+	if len(active) == 0 {
+		return nil
+	}
+	bySession := make(map[sessionKey][]proto.RPCSeq, len(active))
+	for _, rec := range c.store.PeekAll() {
+		k := sessionKey{rec.Call.User, rec.Call.Session}
+		if active[k] {
+			bySession[k] = append(bySession[k], rec.Call.Seq)
+		}
+	}
+	keys := make([]sessionKey, 0, len(bySession))
+	for k := range bySession {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].user != keys[j].user {
+			return keys[i].user < keys[j].user
+		}
+		return keys[i].session < keys[j].session
+	})
+	out := make([]proto.SessionSeqs, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, proto.SessionSeqs{User: k.user, Session: k.session, Seqs: bySession[k]})
+	}
+	return out
+}
+
+// handleShardSync applies a predecessor shard's cross-replication:
+// finished records are stored (and propagated intra-ring), unfinished
+// ones are held passively until adoption. The ack reports, via set
+// difference, the calls this coordinator is missing entirely.
+func (c *Coordinator) handleShardSync(from proto.NodeID, m *proto.ShardSync) {
+	if c.guard != nil {
+		c.guard.Observe(from)
+	}
+	for i := range m.Jobs {
+		incoming := &m.Jobs[i]
+		local, ok := c.store.Peek(incoming.Call)
+		switch {
+		case ok && local.State == proto.TaskFinished:
+			// Finished tasks are never regressed.
+		case incoming.State == proto.TaskFinished:
+			rec := incoming.Clone()
+			c.store.Put(rec)
+			c.persistJob(rec)
+			c.noteSeq(rec.Call)
+			c.clearOngoing(rec.Call)
+			c.unqueue(rec.Call)
+			delete(c.fromShard, rec.Call)
+			c.finished++
+			if c.cfg.OnJobFinished != nil {
+				c.cfg.OnJobFinished(rec.Call, c.env.Now())
+			}
+			// Propagate within this ring (and onward around the shard
+			// circle) so the copy survives our own faults too.
+			c.markDirty(rec.Call)
+		default:
+			rec := incoming.Clone()
+			if ok && local.Params != nil && rec.Params == nil {
+				rec.Params = local.Params
+			}
+			c.store.Put(rec)
+			c.persistJob(rec)
+			c.noteSeq(rec.Call)
+			if c.adopted[m.Shard] {
+				// Already adopted the source shard: schedule right away.
+				rec.State = proto.TaskPending
+				c.store.Put(rec)
+				c.enqueue(rec.Call)
+				c.markDirty(rec.Call)
+			} else {
+				// Held passively: NOT dirty (ring-mates would schedule
+				// it) and not queued until the source shard is adopted.
+				c.fromShard[rec.Call] = m.Shard
+			}
+		}
+	}
+	ack := &proto.ShardSyncAck{From: c.env.Self(), Shard: c.shardIdx, Epoch: m.Epoch, Round: m.Round}
+	for _, ss := range m.Sessions {
+		mine := make([]proto.RPCSeq, 0, 8)
+		for _, rec := range c.store.Select(func(r *proto.JobRecord) bool {
+			return r.Call.User == ss.User && r.Call.Session == ss.Session
+		}) {
+			mine = append(mine, rec.Call.Seq)
+		}
+		for _, seq := range statesync.SeqSetDiff(ss.Seqs, mine) {
+			ack.Want = append(ack.Want, proto.CallID{User: ss.User, Session: ss.Session, Seq: seq})
+		}
+	}
+	c.afterDBCost(func() { c.env.Send(from, ack) })
+}
+
+// handleShardSyncAck completes a cross-shard round: records carried by
+// the round are clean, records the receiver asked for are re-marked
+// dirty and shipped in an immediate follow-up round.
+func (c *Coordinator) handleShardSyncAck(from proto.NodeID, m *proto.ShardSyncAck) {
+	if !c.xpending || m.Epoch != c.epoch || m.Round != c.xround {
+		return
+	}
+	c.xpending = false
+	c.xrounds++
+	for _, call := range c.xinFlight {
+		delete(c.xdirty, call)
+	}
+	c.xinFlight = c.xinFlight[:0]
+	wanted := 0
+	for _, call := range m.Want {
+		if _, ok := c.store.Peek(call); ok {
+			c.xdirty[call] = true
+			wanted++
+		}
+	}
+	if wanted > 0 {
+		c.env.After(0, c.ShardSyncNow)
+	}
 }
 
 // sortedCalls returns the map's keys ordered by CallID, so protocol
@@ -884,6 +1376,9 @@ type Stats struct {
 	LastReplication time.Duration
 	Coordinators    int
 	KnownServers    int
+	Redirects       int
+	Adoptions       int
+	ShardSyncRounds uint64
 }
 
 // StatsNow returns the current counters. Event-loop only.
@@ -909,7 +1404,23 @@ func (c *Coordinator) StatsNow() Stats {
 		LastReplication: c.lastReplDur,
 		Coordinators:    len(c.coords),
 		KnownServers:    c.servers.Tracked(),
+		Redirects:       c.redirects,
+		Adoptions:       c.adoptions,
+		ShardSyncRounds: c.xrounds,
 	}
+}
+
+// ShardIndex returns this coordinator's shard, or -1 when unsharded.
+func (c *Coordinator) ShardIndex() int { return c.shardIdx }
+
+// AdoptedShards returns the shards adopted so far, sorted (tests).
+func (c *Coordinator) AdoptedShards() []int {
+	out := make([]int, 0, len(c.adopted))
+	for s := range c.adopted {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // FinishedCount returns the number of jobs first seen finished here.

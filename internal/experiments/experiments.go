@@ -7,8 +7,8 @@
 // runs; Scale=1 is the paper-faithful configuration.
 //
 // The absolute numbers differ from the paper's (our substrate is a
-// calibrated simulator, not the 2004 testbed); EXPERIMENTS.md records
-// the shape comparisons that must hold.
+// calibrated simulator, not the 2004 testbed); the package's tests
+// assert the shape comparisons that must hold.
 package experiments
 
 import (

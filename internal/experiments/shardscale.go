@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"time"
+
+	"rpcv/internal/cluster"
+	"rpcv/internal/faultgen"
+	"rpcv/internal/metrics"
+	"rpcv/internal/proto"
+)
+
+// ShardScale measures the sharded coordination layer beyond the paper:
+// aggregate submission throughput and client synchronization latency as
+// the number of coordinator rings grows 1 -> 4 -> 16, under the
+// figure-7 fault load (Poisson per-server faults with restart).
+//
+// The workload keeps everything constant except the shard count: 16
+// clients submit a burst each, 16 servers execute, every ring has 2
+// coordinators. With one ring, every submission's database insert
+// queues behind one serialized coordinator database — the figure-5
+// ceiling; with N rings the sessions hash across N independent
+// databases, so aggregate submission throughput must grow monotonically
+// with N. Sync latency shows the same contention through a different
+// lens: a synchronization scans the session's records behind whatever
+// else that ring's database is doing. End-to-end completion time is
+// reported for honesty — it is bounded by the fixed server population,
+// not by coordination, so it does not scale the same way.
+func ShardScale(opts Options) Result {
+	opts.applyDefaults()
+
+	shardCounts := []int{1, 4, 16}
+	callsPerClient := 32
+	if opts.Quick {
+		callsPerClient = 8
+	}
+
+	table := metrics.NewTable(
+		"Shard scaling: submission throughput and sync latency vs shard count (16 clients, 16 servers, 2 coordinators/ring, fig-7 fault load)",
+		"shards", "coordinators", "submits/s", "mean-sync", "p95-sync", "all-results")
+	for _, n := range shardCounts {
+		r := shardRun(opts.Seed, n, callsPerClient)
+		table.AddRow(n, 2*n, r.throughput, r.syncs.Mean(), r.syncs.Quantile(0.95), r.completion)
+	}
+	return Result{Name: "shard-scale", Tables: []*metrics.Table{table}}
+}
+
+// shardRunResult carries one configuration's measurements.
+type shardRunResult struct {
+	throughput float64 // completed submissions per second of virtual time
+	syncs      metrics.Sample
+	completion time.Duration
+}
+
+// shardRun executes the shard-scaling workload once.
+func shardRun(seed int64, shards, callsPerClient int) shardRunResult {
+	const (
+		clients   = 16
+		servers   = 16
+		perRing   = 2
+		taskTime  = 2 * time.Second
+		paramSize = 2 << 10
+		// Figure-7 fault load: per-server Poisson faults, 2 faults/min
+		// per node, 5 s downtime (population constant).
+		faultsPerMinute = 2.0
+		downtime        = 5 * time.Second
+	)
+
+	var res shardRunResult
+	var start time.Time // set after boot, before any event runs
+	var lastSubmitDone time.Duration
+	submitsDone := 0
+
+	cl := cluster.New(cluster.Config{
+		Seed:              seed,
+		Shards:            shards,
+		Coordinators:      perRing,
+		Servers:           servers,
+		Clients:           clients,
+		ReplicationPeriod: 10 * time.Second,
+		OnSubmitComplete: func(_ proto.NodeID, _ proto.RPCSeq, _, completed time.Time) {
+			submitsDone++
+			if d := completed.Sub(start); d > lastSubmitDone {
+				lastSubmitDone = d
+			}
+		},
+		OnSyncReply: func(_ proto.NodeID, rtt time.Duration) {
+			res.syncs.Add(rtt)
+		},
+	})
+	start = cl.World.Now()
+
+	gen := faultgen.New(cl.World)
+	perNodeMTBF := time.Duration(float64(time.Minute) / faultsPerMinute)
+	gen.Poisson(cl.ServerIDs, perNodeMTBF, downtime)
+
+	for i := 0; i < clients; i++ {
+		cl.SubmitBatch(i, callsPerClient, "synthetic", paramSize, taskTime, 64)
+	}
+	// Periodic explicit synchronizations sample the coordinators' sync
+	// responsiveness under load (the experiment's latency axis).
+	for i := 0; i < clients; i++ {
+		ci := cl.Client(i)
+		for tick := 1; tick <= 4; tick++ {
+			cl.World.Schedule(time.Duration(tick)*20*time.Second, ci.SyncNow)
+		}
+	}
+
+	total := clients * callsPerClient
+	const cap = 2 * time.Hour
+	deadline := start.Add(cap)
+	cl.World.RunUntil(func() bool {
+		if submitsDone < total {
+			return false
+		}
+		for i := 0; i < clients; i++ {
+			if cl.Client(i).ResultCount() < callsPerClient {
+				return false
+			}
+		}
+		return true
+	}, deadline)
+	gen.Stop()
+
+	res.completion = cl.World.Now().Sub(start)
+	if submitsDone >= total && lastSubmitDone > 0 {
+		res.throughput = float64(total) / lastSubmitDone.Seconds()
+	}
+	return res
+}

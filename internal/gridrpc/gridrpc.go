@@ -36,6 +36,7 @@ import (
 	"rpcv/internal/msglog"
 	"rpcv/internal/proto"
 	"rpcv/internal/rt"
+	"rpcv/internal/shard"
 )
 
 // Config parameterizes a Session.
@@ -66,6 +67,10 @@ type Config struct {
 	SuspicionTimeout time.Duration
 	// Logf receives trace output; nil silences it.
 	Logf func(format string, args ...any)
+	// Shard is the cached consistent-hash shard map of a sharded
+	// deployment (nil: unsharded). The session routes to its owner ring
+	// and follows redirects carrying newer maps automatically.
+	Shard *shard.Map
 }
 
 // ErrCancelled is returned by Wait when the context ends first.
@@ -132,6 +137,7 @@ func Dial(cfg Config) (*Session, error) {
 		PollPeriod:       cfg.PollPeriod,
 		SuspicionTimeout: cfg.SuspicionTimeout,
 		Logging:          cfg.Logging,
+		Shard:            cfg.Shard,
 		OnResult:         s.onResult,
 	})
 

@@ -26,6 +26,11 @@ func init() {
 	gob.Register(&ServerSyncReply{})
 	gob.Register(&ReplicaUpdate{})
 	gob.Register(&ReplicaAck{})
+	gob.Register(&ShardMapRequest{})
+	gob.Register(&ShardMapReply{})
+	gob.Register(&ShardRedirect{})
+	gob.Register(&ShardSync{})
+	gob.Register(&ShardSyncAck{})
 }
 
 // EncodeJob serializes a job record for durable storage.

@@ -406,3 +406,133 @@ func (j *JobRecord) Clone() *JobRecord {
 	}
 	return &c
 }
+
+// ---------------------------------------------------------------------
+// Sharded coordination layer (internal/shard)
+// ---------------------------------------------------------------------
+
+// ShardMapState is the wire representation of the consistent-hash shard
+// topology: a versioned list of coordinator rings. Components rebuild a
+// shard.Map from it; the version lets a coordinator detect a client
+// routing on a stale cached map.
+type ShardMapState struct {
+	Version uint64
+	VNodes  int // virtual nodes per shard on the hash circle
+	Rings   [][]NodeID
+}
+
+// wireSize approximates the serialized topology size.
+func (s *ShardMapState) wireSize() int {
+	n := 16
+	for _, ring := range s.Rings {
+		n += 16 * len(ring)
+	}
+	return n
+}
+
+// Empty reports whether the state describes no topology at all.
+func (s *ShardMapState) Empty() bool { return len(s.Rings) == 0 }
+
+// ShardMapRequest asks any coordinator for the current shard map (a
+// client booting without a cached map, or refreshing after redirects).
+type ShardMapRequest struct {
+	From NodeID
+}
+
+// Kind implements Message.
+func (*ShardMapRequest) Kind() string { return "shard-map-request" }
+
+// WireSize implements Message.
+func (m *ShardMapRequest) WireSize() int { return headerSize }
+
+// ShardMapReply answers a ShardMapRequest with the coordinator's
+// current shard map.
+type ShardMapReply struct {
+	Map ShardMapState
+}
+
+// Kind implements Message.
+func (*ShardMapReply) Kind() string { return "shard-map-reply" }
+
+// WireSize implements Message.
+func (m *ShardMapReply) WireSize() int { return headerSize + m.Map.wireSize() }
+
+// ShardRedirect tells a client its request reached a coordinator that
+// does not own the session: the session hashes to shard Shard, and Map
+// carries the coordinator's current topology so a stale cached map is
+// repaired in one round trip. Call echoes the misrouted submission's ID
+// when the redirect answers a Submit (zero otherwise), so the client
+// can retransmit exactly that call to the right ring.
+type ShardRedirect struct {
+	From    NodeID
+	User    UserID
+	Session SessionID
+	Call    CallID // zero unless redirecting a Submit
+	Shard   int    // owner shard index under Map
+	Map     ShardMapState
+}
+
+// Kind implements Message.
+func (*ShardRedirect) Kind() string { return "shard-redirect" }
+
+// WireSize implements Message.
+func (m *ShardRedirect) WireSize() int { return headerSize + m.Map.wireSize() }
+
+// SessionSeqs advertises the exact set of sequence numbers one
+// coordinator stores for one session — the cross-shard analogue of
+// SyncReply.Known. The receiver set-differences it against its own
+// store (statesync.SeqSetDiff) and asks for the gap.
+type SessionSeqs struct {
+	User    UserID
+	Session SessionID
+	Seqs    []RPCSeq
+}
+
+// ShardSync cross-replicates a coordinator's dirty records to the
+// successor shard so that a whole-ring loss cannot destroy completed
+// results: the successor holds them passively (tasks are not scheduled
+// there) until it suspects the entire source ring and adopts the
+// sessions. Sessions advertises full per-session sequence sets so the
+// receiver can request records it is missing beyond the dirty batch.
+type ShardSync struct {
+	From     NodeID
+	Shard    int // sender's shard index
+	Epoch    uint64
+	Round    uint64
+	Jobs     []JobRecord
+	Sessions []SessionSeqs
+}
+
+// Kind implements Message.
+func (*ShardSync) Kind() string { return "shard-sync" }
+
+// WireSize implements Message.
+func (m *ShardSync) WireSize() int {
+	n := headerSize
+	for i := range m.Jobs {
+		n += m.Jobs[i].wireSize()
+	}
+	for i := range m.Sessions {
+		n += 24 + 8*len(m.Sessions[i].Seqs)
+	}
+	return n
+}
+
+// ShardSyncAck acknowledges a ShardSync. Want lists calls the receiver
+// lacks (computed by set difference from the advertised sessions); the
+// sender marks them dirty so the next cross-shard round carries them —
+// the same resend-what-the-log-comparison-found mechanism the paper
+// uses between clients and coordinators, lifted to shard level.
+type ShardSyncAck struct {
+	From  NodeID
+	Shard int // acknowledging shard's index
+	Epoch uint64
+	Round uint64 // echoes ShardSync.Round
+	Want  []CallID
+}
+
+// Kind implements Message.
+func (*ShardSyncAck) Kind() string { return "shard-sync-ack" }
+
+// WireSize implements Message.
+func (m *ShardSyncAck) WireSize() int { return headerSize + 40*len(m.Want) }

@@ -1,0 +1,165 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"rpcv/internal/proto"
+)
+
+func ringIDs(shard, n int) []proto.NodeID {
+	out := make([]proto.NodeID, n)
+	for i := 0; i < n; i++ {
+		out[i] = proto.NodeID(fmt.Sprintf("coord-%02d", shard*n+i))
+	}
+	return out
+}
+
+func testMap(shards, perRing int) *Map {
+	rings := make([][]proto.NodeID, shards)
+	for s := range rings {
+		rings[s] = ringIDs(s, perRing)
+	}
+	return New(1, rings, 0)
+}
+
+func TestSingleRingOwnsEverything(t *testing.T) {
+	m := testMap(1, 3)
+	for i := 0; i < 50; i++ {
+		user := proto.UserID(fmt.Sprintf("user-%02d", i))
+		if got := m.Owner(user, 1); got != 0 {
+			t.Fatalf("single-ring map: Owner(%s) = %d, want 0", user, got)
+		}
+	}
+	if m.SuccessorShard(0) != 0 {
+		t.Fatalf("single-ring successor = %d, want 0", m.SuccessorShard(0))
+	}
+}
+
+func TestOwnerDeterministicAndInRange(t *testing.T) {
+	m := testMap(4, 2)
+	n := FromState(m.State())
+	for i := 0; i < 200; i++ {
+		user := proto.UserID(fmt.Sprintf("user-%03d", i))
+		a := m.Owner(user, 1)
+		b := n.Owner(user, 1)
+		if a != b {
+			t.Fatalf("owner differs across State round trip: %d vs %d", a, b)
+		}
+		if a < 0 || a >= 4 {
+			t.Fatalf("owner %d out of range", a)
+		}
+	}
+}
+
+func TestOwnerSpreadsSessions(t *testing.T) {
+	m := testMap(4, 2)
+	counts := make([]int, 4)
+	const sessions = 400
+	for i := 0; i < sessions; i++ {
+		counts[m.Owner(proto.UserID(fmt.Sprintf("user-%03d", i)), 1)]++
+	}
+	for s, c := range counts {
+		// With 64 vnodes per shard the split is close to uniform; a
+		// shard receiving under an eighth of its fair share would mean
+		// the circle is badly broken.
+		if c < sessions/(4*8) {
+			t.Fatalf("shard %d owns only %d/%d sessions: %v", s, c, sessions, counts)
+		}
+	}
+}
+
+func TestDifferentSessionsOfSameUserCanLandApart(t *testing.T) {
+	m := testMap(8, 1)
+	seen := make(map[int]bool)
+	for sess := proto.SessionID(1); sess <= 64; sess++ {
+		seen[m.Owner("user", sess)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("64 sessions of one user all landed on the same shard")
+	}
+}
+
+func TestRingOf(t *testing.T) {
+	m := testMap(3, 2)
+	for s := 0; s < 3; s++ {
+		for _, id := range m.Ring(s) {
+			if got := m.RingOf(id); got != s {
+				t.Fatalf("RingOf(%s) = %d, want %d", id, got, s)
+			}
+		}
+	}
+	if got := m.RingOf("stranger"); got != -1 {
+		t.Fatalf("RingOf(stranger) = %d, want -1", got)
+	}
+}
+
+func TestSuccessorShardNeverSelf(t *testing.T) {
+	for _, shards := range []int{2, 3, 4, 7, 16} {
+		m := testMap(shards, 2)
+		for s := 0; s < shards; s++ {
+			succ := m.SuccessorShard(s)
+			if succ == s {
+				t.Fatalf("%d shards: SuccessorShard(%d) = self", shards, s)
+			}
+			if succ < 0 || succ >= shards {
+				t.Fatalf("%d shards: SuccessorShard(%d) = %d out of range", shards, s, succ)
+			}
+		}
+	}
+}
+
+func TestRouteOrderCoversAllCoordinatorsOwnerFirst(t *testing.T) {
+	m := testMap(4, 2)
+	for i := 0; i < 20; i++ {
+		user := proto.UserID(fmt.Sprintf("user-%02d", i))
+		order := m.RouteOrder(user, 1)
+		if len(order) != 8 {
+			t.Fatalf("RouteOrder covers %d coordinators, want 8", len(order))
+		}
+		owner := m.Owner(user, 1)
+		if m.RingOf(order[0]) != owner {
+			t.Fatalf("RouteOrder starts on ring %d, owner is %d", m.RingOf(order[0]), owner)
+		}
+		if m.RingOf(order[len(m.Ring(owner))]) != m.SuccessorShard(owner) {
+			t.Fatalf("RouteOrder second ring is %d, successor is %d",
+				m.RingOf(order[len(m.Ring(owner))]), m.SuccessorShard(owner))
+		}
+		seen := make(map[proto.NodeID]bool)
+		for _, id := range order {
+			if seen[id] {
+				t.Fatalf("RouteOrder repeats %s", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestConsistentHashStability(t *testing.T) {
+	// Growing 4 -> 5 shards must not move sessions between surviving
+	// shards: a session either keeps its owner or moves to the new one.
+	old := testMap(4, 2)
+	rings := make([][]proto.NodeID, 5)
+	for s := 0; s < 4; s++ {
+		rings[s] = ringIDs(s, 2)
+	}
+	rings[4] = ringIDs(4, 2)
+	grown := New(2, rings, 0)
+
+	moved, kept := 0, 0
+	for i := 0; i < 500; i++ {
+		user := proto.UserID(fmt.Sprintf("user-%03d", i))
+		was, is := old.Owner(user, 1), grown.Owner(user, 1)
+		switch {
+		case was == is:
+			kept++
+		case is == 4:
+			moved++
+		default:
+			t.Fatalf("session %s moved between surviving shards: %d -> %d", user, was, is)
+		}
+	}
+	if moved == 0 {
+		t.Fatalf("no sessions moved to the new shard (kept=%d)", kept)
+	}
+}

@@ -45,18 +45,22 @@ func MissingSeqs(clientMax proto.RPCSeq, known []proto.RPCSeq) []proto.RPCSeq {
 	return missing
 }
 
-// SeqSetDiff returns the elements of a not present in b, sorted.
-// It is the generic building block for client-side catch-up: a = what
-// the coordinator knows, b = what the client holds, result = what the
-// client must fetch.
+// SeqSetDiff returns the elements of a not present in b, deduplicated
+// and sorted — a true set difference: duplicates on either side (e.g.
+// the same record advertised by two cross-shard rounds) change nothing.
+// It is the generic building block for catch-up synchronization: a =
+// what the peer knows, b = what the local component holds, result =
+// what must move.
 func SeqSetDiff(a, b []proto.RPCSeq) []proto.RPCSeq {
 	inB := make(map[proto.RPCSeq]bool, len(b))
 	for _, s := range b {
 		inB[s] = true
 	}
+	seen := make(map[proto.RPCSeq]bool, len(a))
 	var out []proto.RPCSeq
 	for _, s := range a {
-		if !inB[s] {
+		if !inB[s] && !seen[s] {
+			seen[s] = true
 			out = append(out, s)
 		}
 	}

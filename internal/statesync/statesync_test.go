@@ -224,3 +224,47 @@ func TestSuccessorRingIsPermutation(t *testing.T) {
 		}
 	}
 }
+
+// --- Edge cases exercised by the shard layer's rebalance path ---
+
+func TestMissingSeqsEmptyLogs(t *testing.T) {
+	// A pristine component on either side: nothing known, nothing to
+	// resend.
+	if got := MissingSeqs(0, nil); got != nil {
+		t.Errorf("MissingSeqs(0, nil) = %v, want nil", got)
+	}
+	// The coordinator knows nothing: the whole contiguous prefix must
+	// be resent.
+	if got := MissingSeqs(3, nil); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("MissingSeqs(3, nil) = %v, want [1 2 3]", got)
+	}
+}
+
+func TestMissingSeqsClientMaxBelowAllKnown(t *testing.T) {
+	// The coordinator knows only seqs above the client's max (e.g. the
+	// client rolled back to an old log): everything in [1, max] is
+	// missing, and the higher known seqs must not leak into the answer.
+	got := MissingSeqs(2, []proto.RPCSeq{5, 6, 7})
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("MissingSeqs(2, [5 6 7]) = %v, want [1 2]", got)
+	}
+}
+
+func TestSeqSetDiffDuplicateInputs(t *testing.T) {
+	// Cross-shard advertisements can repeat a seq (the same record
+	// dirtied twice across rounds); the diff must stay a set.
+	got := SeqSetDiff([]proto.RPCSeq{3, 1, 3, 2, 1}, []proto.RPCSeq{2, 2})
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("SeqSetDiff = %v, want the deduplicated sorted set [1 3]", got)
+	}
+}
+
+func TestSeqSetDiffEmptySides(t *testing.T) {
+	if got := SeqSetDiff(nil, []proto.RPCSeq{1, 2}); got != nil {
+		t.Errorf("diff of empty a = %v, want nil", got)
+	}
+	got := SeqSetDiff([]proto.RPCSeq{2, 1}, nil)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("diff against empty b = %v, want [1 2]", got)
+	}
+}
