@@ -4,10 +4,11 @@
 #   make bench      full benchmark run (regenerates every figure)
 #   make smoke      1-iteration benchmark smoke (fast CI signal)
 #   make shard      print the shard-scaling table (quick sweep)
+#   make sched      print the scheduling-policy + work-stealing tables
 
 GO ?= go
 
-.PHONY: all vet build test bench smoke shard ci
+.PHONY: all vet build test bench smoke shard sched ci
 
 all: vet build test
 
@@ -28,5 +29,8 @@ smoke:
 
 shard:
 	$(GO) run ./cmd/rpcv-bench -fig shard-scale -quick
+
+sched:
+	$(GO) run ./cmd/rpcv-bench -fig sched-compare -quick
 
 ci: vet build test smoke

@@ -1,6 +1,6 @@
 // Benchmarks regenerating every figure of the paper's evaluation
-// (figures 4-11) plus the ablation studies and the shard-scaling
-// experiment (see README.md). Each
+// (figures 4-11) plus the ablation studies, the shard-scaling
+// experiment and the scheduling-policy comparison (see README.md). Each
 // benchmark runs the corresponding experiment driver in quick mode and
 // reports the headline measurement as custom metrics, so
 //
@@ -224,6 +224,25 @@ func BenchmarkShardScale(b *testing.B) {
 		}
 		b.ReportMetric(tp, "submits/s-"+t.Cell(row, 0)+"shard")
 	}
+}
+
+// BenchmarkSchedCompare runs the scheduling-policy experiment:
+// makespan per policy on heterogeneous-speed servers under the fault
+// load, plus the work-stealing comparison. Reported metrics: seconds
+// of makespan for fcfs vs the straggler-aware policies, and with work
+// stealing off vs on.
+func BenchmarkSchedCompare(b *testing.B) {
+	var res experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.SchedCompare(opts())
+	}
+	t := res.Tables[0]
+	for row := 0; row < t.Rows(); row++ {
+		b.ReportMetric(cellDur(b, t, row, 1)/1000, "s-"+t.Cell(row, 0))
+	}
+	steal := res.Tables[1]
+	b.ReportMetric(cellDur(b, steal, 0, 1)/1000, "s-steal-off")
+	b.ReportMetric(cellDur(b, steal, 1, 1)/1000, "s-steal-on")
 }
 
 // BenchmarkSubmissionThroughput is a micro-benchmark of the simulated

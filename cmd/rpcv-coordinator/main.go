@@ -20,6 +20,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -27,6 +28,7 @@ import (
 	"rpcv/internal/db"
 	"rpcv/internal/proto"
 	"rpcv/internal/rt"
+	"rpcv/internal/sched"
 	"rpcv/internal/shared"
 )
 
@@ -42,7 +44,14 @@ func main() {
 	shardMap := flag.String("shardmap", "", "consistent-hash shard topology: rings separated by ';', members by ',' (e.g. \"coord-a,coord-b;coord-c,coord-d\"); empty: unsharded")
 	shardVersion := flag.Uint64("shardversion", 1, "shard map version (bump when redeploying a changed topology)")
 	shardSync := flag.Duration("shardsync", 0, "cross-shard replication period (0: same as -replication)")
+	policy := flag.String("policy", "fcfs", "scheduling policy: "+strings.Join(sched.Policies(), ", "))
+	speculate := flag.Float64("speculate", 0, "speculative policy's straggler threshold factor k (0: default)")
+	steal := flag.Bool("steal", false, "enable cross-shard work stealing (sharded deployments)")
 	flag.Parse()
+
+	if _, err := sched.New(sched.Config{Policy: *policy}); err != nil {
+		log.Fatalf("rpcv-coordinator: -policy: %v", err)
+	}
 
 	dir, coordIDs, err := shared.ParseDirectory(*peers)
 	if err != nil {
@@ -93,6 +102,9 @@ func main() {
 		DBCost:            db.RealLifeCost(),
 		Shard:             smap,
 		ShardSyncPeriod:   *shardSync,
+		Policy:            *policy,
+		SpeculateFactor:   *speculate,
+		WorkStealing:      *steal,
 		OnJobFinished: func(call proto.CallID, at time.Time) {
 			log.Printf("finished %s at %s", call, at.Format(time.RFC3339))
 		},

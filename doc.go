@@ -17,7 +17,22 @@
 // independent coordinator rings, with cross-shard replication and
 // whole-ring failover.
 //
-// See README.md for the package tour and the shard subsystem overview.
-// The benchmarks in bench_test.go regenerate each figure;
+// internal/sched adds a pluggable scheduling subsystem the coordinator
+// delegates to. Four policies ship: "fcfs" (the paper's behaviour,
+// default), "fastest-first" (matchmaking on per-server EWMA speed
+// estimates: slow machines are refused work the fast pool would finish
+// sooner), "deadline" (earliest-deadline-first over soft per-call
+// deadlines carried in Submit), and "speculative" (straggling in-flight
+// tasks are raced against a redundant instance on a different server;
+// first result wins, the loser is cancelled idempotently and
+// deduplicated by CallID across replication, shard sync and failover).
+// Sharded deployments can additionally enable cross-shard work
+// stealing: an idle shard drains its successor shard's pending queue
+// and routes the results home over the existing ShardSync path. Wired
+// through cmd/rpcv-coordinator's -policy, -speculate and -steal flags;
+// measured by the sched-compare experiment.
+//
+// See README.md for the package tour and the shard/sched subsystem
+// overviews. The benchmarks in bench_test.go regenerate each figure;
 // cmd/rpcv-bench prints them as tables.
 package rpcv

@@ -323,6 +323,15 @@ func (c *Client) ForcePreferred(id proto.NodeID) {
 // Submit issues one non-blocking RPC call and returns its sequence
 // number. Event-loop only (experiments schedule it onto the loop).
 func (c *Client) Submit(service string, params []byte, execTime time.Duration, resultSize int) proto.RPCSeq {
+	return c.SubmitWithDeadline(service, params, execTime, resultSize, 0)
+}
+
+// SubmitWithDeadline issues one non-blocking RPC call carrying a soft
+// completion deadline (relative to the coordinator's registration of
+// the call). Coordinators running the "deadline" scheduling policy
+// serve pending work earliest-deadline-first; zero means no deadline
+// and other policies ignore it entirely. Event-loop only.
+func (c *Client) SubmitWithDeadline(service string, params []byte, execTime time.Duration, resultSize int, deadline time.Duration) proto.RPCSeq {
 	c.nextSeq++
 	seq := c.nextSeq
 	sub := &proto.Submit{
@@ -331,6 +340,7 @@ func (c *Client) Submit(service string, params []byte, execTime time.Duration, r
 		Params:     params,
 		ExecTime:   execTime,
 		ResultSize: resultSize,
+		Deadline:   deadline,
 	}
 	cl := &call{submit: sub, issued: c.env.Now(), lastResent: c.env.Now()}
 	c.calls[seq] = cl

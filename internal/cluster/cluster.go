@@ -82,6 +82,26 @@ type Config struct {
 	// Parallelism is each server's concurrent task capacity (default 1).
 	Parallelism int
 
+	// Policy is the coordinators' scheduling policy (internal/sched):
+	// "fcfs" (default), "fastest-first", "deadline" or "speculative".
+	Policy string
+
+	// SpeculateFactor tunes the speculative policy's straggler
+	// threshold (0: sched default).
+	SpeculateFactor float64
+
+	// WorkStealing lets idle shards execute pending tasks of their
+	// successor shard (sharded deployments only).
+	WorkStealing bool
+
+	// StealBatch caps tasks per steal grant (0: MaxTasksPerAck).
+	StealBatch int
+
+	// ServerSpeed, when non-nil, returns server i's execution speed
+	// factor (1 = nominal, 10 = ten times slower) — the heterogeneous
+	// population of the scheduling experiments.
+	ServerSpeed func(i int) float64
+
 	// Services registered on every server.
 	Services map[string]server.Service
 
@@ -198,6 +218,10 @@ func New(cfg Config) *Cluster {
 			ReplicateParamsLimit: cfg.ReplicateParamsLimit,
 			Shard:                cl.ShardMap,
 			ShardSyncPeriod:      cfg.ShardSyncPeriod,
+			Policy:               cfg.Policy,
+			SpeculateFactor:      cfg.SpeculateFactor,
+			WorkStealing:         cfg.WorkStealing,
+			StealBatch:           cfg.StealBatch,
 			OnJobFinished: func(call proto.CallID, at time.Time) {
 				if _, ok := cl.FinishedAt[call]; !ok {
 					cl.FinishedAt[call] = at
@@ -218,11 +242,16 @@ func New(cfg Config) *Cluster {
 		if cfg.Shards > 1 {
 			serverCoords = rings[i%cfg.Shards]
 		}
+		speed := 1.0
+		if cfg.ServerSpeed != nil {
+			speed = cfg.ServerSpeed(i)
+		}
 		sv := server.New(server.Config{
 			Coordinators:     serverCoords,
 			HeartbeatPeriod:  cfg.HeartbeatPeriod,
 			SuspicionTimeout: cfg.SuspicionTimeout,
 			Parallelism:      cfg.Parallelism,
+			SpeedFactor:      speed,
 			Services:         cfg.Services,
 		})
 		cl.ServerIDs = append(cl.ServerIDs, id)

@@ -5,8 +5,10 @@
 //
 //   - registers client RPC submissions as job records in its task
 //     database and acknowledges them;
-//   - schedules pending jobs first-come-first-served onto servers that
-//     pull work with their heartbeats;
+//   - schedules pending jobs onto servers that pull work with their
+//     heartbeats, delegating queue order, admission and straggler
+//     speculation to a pluggable scheduling engine (internal/sched;
+//     the default "fcfs" policy is the paper's behaviour);
 //   - suspects silent servers (heartbeat timeout) and re-schedules new
 //     instances of all RPC calls forwarded to the suspect ("on
 //     suspicion" replication);
@@ -30,6 +32,7 @@ import (
 	"rpcv/internal/detector"
 	"rpcv/internal/node"
 	"rpcv/internal/proto"
+	"rpcv/internal/sched"
 	"rpcv/internal/shard"
 	"rpcv/internal/statesync"
 )
@@ -88,6 +91,28 @@ type Config struct {
 	// ShardSyncPeriod is the period of cross-shard state propagation to
 	// the successor shard. Zero means ReplicationPeriod.
 	ShardSyncPeriod time.Duration
+
+	// Policy names the scheduling policy (internal/sched): "fcfs"
+	// (default, the paper's behaviour), "fastest-first", "deadline" or
+	// "speculative". An unknown name logs and falls back to FCFS.
+	Policy string
+
+	// SpeculateFactor is the speculative policy's straggler threshold
+	// k: an in-flight task is duplicated onto a different server once
+	// its age exceeds k x the completion estimate. Zero means the
+	// sched default (2).
+	SpeculateFactor float64
+
+	// WorkStealing, on a sharded coordinator, lets an idle shard
+	// execute pending tasks of its successor shard: when the local
+	// queue is empty while servers keep asking for work, a
+	// StealRequest is sent and granted jobs run here, their results
+	// routed home over the existing ShardSync path.
+	WorkStealing bool
+
+	// StealBatch caps the tasks moved per steal grant. Zero means
+	// MaxTasksPerAck.
+	StealBatch int
 }
 
 func (c *Config) applyDefaults() {
@@ -106,6 +131,9 @@ func (c *Config) applyDefaults() {
 	if c.ReplicateParamsLimit <= 0 {
 		c.ReplicateParamsLimit = 64 << 10
 	}
+	if c.StealBatch <= 0 {
+		c.StealBatch = c.MaxTasksPerAck
+	}
 }
 
 // Coordinator is the middle-tier node handler.
@@ -123,10 +151,16 @@ type Coordinator struct {
 	sessionMax map[sessionKey]proto.RPCSeq
 
 	// Scheduling state (volatile; rebuilt from the store on restart).
-	pendingQueue []proto.CallID                         // FCFS order
-	inQueue      map[proto.CallID]bool                  // membership in pendingQueue
-	ongoing      map[proto.CallID]ongoingInfo           // assigned, awaiting result
-	byServer     map[proto.NodeID]map[proto.CallID]bool // reverse index
+	// The engine owns the pending queue, policy order, admission gate
+	// and per-server speed estimates (internal/sched).
+	eng     *sched.Engine
+	ongoing map[proto.CallID]ongoingInfo // assigned, awaiting result
+	// spec tracks the redundant instance of each speculatively
+	// duplicated call (at most one duplicate per call, on a server
+	// other than the primary's).
+	spec      map[proto.CallID]ongoingInfo
+	specTimer node.Timer
+	byServer  map[proto.NodeID]map[proto.CallID]bool // reverse index
 	// fromPredecessor marks calls learned as "ongoing" via replication:
 	// they are not scheduled until the predecessor is suspected.
 	fromPredecessor map[proto.CallID]bool
@@ -167,6 +201,15 @@ type Coordinator struct {
 	xtimer    node.Timer
 	xrounds   uint64
 
+	// Cross-shard work stealing state (thief and victim sides).
+	stealPending bool
+	stealRound   uint64
+	stealIx      int       // rotates through successor-ring members
+	lastStealAt  time.Time // throttles request bursts
+	// stolenOut tracks pending jobs granted away to an idle
+	// predecessor shard, for timeout reclaim.
+	stolenOut map[proto.CallID]stolenOutInfo
+
 	stopped bool
 
 	// Metrics.
@@ -177,12 +220,23 @@ type Coordinator struct {
 	rescheduled     int
 	redirects       int
 	adoptions       int
+	speculated      int // redundant instances issued
+	specWins        int // results won by the speculative copy
+	stolenIn        int // tasks this coordinator stole and ran locally
+	stolenOutTotal  int // pending tasks granted away to a thief shard
+	stolenHome      int // stolen tasks whose result came home via ShardSync
 }
 
 type ongoingInfo struct {
 	server     proto.NodeID
 	task       proto.TaskID
 	assignedAt time.Time
+}
+
+// stolenOutInfo records one job granted to a thief shard.
+type stolenOutInfo struct {
+	shard     int
+	grantedAt time.Time
 }
 
 // sessionKey identifies one (user, session) pair.
@@ -212,12 +266,22 @@ func (c *Coordinator) Start(env node.Env) {
 	c.env = env
 	c.stopped = false
 	c.store = db.New(c.cfg.DBCost)
-	c.inQueue = make(map[proto.CallID]bool)
+	eng, err := sched.New(sched.Config{
+		Policy:          c.cfg.Policy,
+		SpeculateFactor: c.cfg.SpeculateFactor,
+	})
+	if err != nil {
+		env.Logf("coordinator: %v; falling back to fcfs", err)
+		eng, _ = sched.New(sched.Config{})
+	}
+	c.eng = eng
 	c.ongoing = make(map[proto.CallID]ongoingInfo)
+	c.spec = make(map[proto.CallID]ongoingInfo)
 	c.byServer = make(map[proto.NodeID]map[proto.CallID]bool)
 	c.fromPredecessor = make(map[proto.CallID]bool)
 	c.dirty = make(map[proto.CallID]bool)
-	c.pendingQueue = nil
+	c.stolenOut = make(map[proto.CallID]stolenOutInfo)
+	c.stealPending = false
 	c.sessionMax = make(map[sessionKey]proto.RPCSeq)
 	c.dbEng = node.SerialResource{}
 	c.replPending = false
@@ -276,6 +340,7 @@ func (c *Coordinator) Start(env node.Env) {
 
 	c.scheduleReplication()
 	c.scheduleShardSync()
+	c.scheduleSpeculation()
 	// Ring heartbeats: probe fellow coordinators every period so that
 	// ring suspicion (and recovery from wrong suspicion) works on the
 	// heartbeat timescale even when the replication period is longer.
@@ -322,6 +387,9 @@ func (c *Coordinator) Stop() {
 	}
 	if c.xtimer != nil {
 		c.xtimer.Stop()
+	}
+	if c.specTimer != nil {
+		c.specTimer.Stop()
 	}
 	if c.beater != nil {
 		c.beater.Close()
@@ -415,6 +483,10 @@ func (c *Coordinator) Receive(from proto.NodeID, msg proto.Message) {
 		c.handleShardSync(from, m)
 	case *proto.ShardSyncAck:
 		c.handleShardSyncAck(from, m)
+	case *proto.StealRequest:
+		c.handleStealRequest(from, m)
+	case *proto.StealGrant:
+		c.handleStealGrant(from, m)
 	default:
 		c.env.Logf("coordinator: unexpected %s from %s", msg.Kind(), from)
 	}
@@ -468,6 +540,9 @@ func (c *Coordinator) handleSubmit(from proto.NodeID, m *proto.Submit) {
 		ExecTime:   m.ExecTime,
 		ResultSize: m.ResultSize,
 		State:      proto.TaskPending,
+	}
+	if m.Deadline > 0 {
+		rec.Deadline = c.env.Now().Add(m.Deadline)
 	}
 	c.store.Put(rec)
 	c.persistJob(rec)
@@ -568,6 +643,9 @@ func (c *Coordinator) handleHeartbeat(from proto.NodeID, m *proto.Heartbeat) {
 	switch m.Role {
 	case proto.RoleServer:
 		c.servers.Observe(from)
+		// The admission gate weighs pool throughput by concurrent
+		// capacity: in-flight here plus what this heartbeat offers.
+		c.eng.NoteSlots(from, len(c.byServer[from])+m.Capacity)
 	case proto.RoleCoordinator:
 		// Only ring-mates join the intra-ring membership list; a
 		// cross-shard probe is a guard sign of life, never a merge
@@ -628,15 +706,53 @@ func (c *Coordinator) ringOnly(ids []proto.NodeID) []proto.NodeID {
 	return out
 }
 
-// assign pops up to limit pending jobs (FCFS) and binds them to server.
+// assign pops up to limit schedulable jobs from the engine (policy
+// order, admission gate, speculative duplicates first) and binds them
+// to server. When the queue yields nothing for an idle server, a
+// sharded coordinator may instead try to steal work from its successor
+// shard.
 func (c *Coordinator) assign(server proto.NodeID, limit int) []proto.TaskAssignment {
 	var out []proto.TaskAssignment
-	for limit > 0 && len(c.pendingQueue) > 0 {
-		call := c.pendingQueue[0]
-		c.pendingQueue = c.pendingQueue[1:]
-		delete(c.inQueue, call)
-		rec, ok := c.store.Peek(call)
-		if !ok || rec.State != proto.TaskPending {
+	now := c.env.Now()
+	for limit > 0 {
+		call, specDup, ok := c.eng.Pop(server, now)
+		if !ok {
+			break
+		}
+		rec, have := c.store.Peek(call)
+		if specDup {
+			// A redundant instance of an in-flight straggler: the
+			// original must still be running on a different server and
+			// no second duplicate may exist.
+			if !have || rec.State != proto.TaskOngoing {
+				continue
+			}
+			info, running := c.ongoing[call]
+			if !running || info.server == server {
+				continue
+			}
+			if _, dup := c.spec[call]; dup {
+				continue
+			}
+			rec.Instance++
+			c.store.Put(rec)
+			c.persistJob(rec)
+			task := proto.TaskID{Call: call, Instance: rec.Instance}
+			c.spec[call] = ongoingInfo{server: server, task: task, assignedAt: now}
+			c.bindToServer(server, call)
+			c.markDirty(call)
+			c.speculated++
+			out = append(out, proto.TaskAssignment{
+				Task:       task,
+				Service:    rec.Service,
+				Params:     rec.Params,
+				ExecTime:   rec.ExecTime,
+				ResultSize: rec.ResultSize,
+			})
+			limit--
+			continue
+		}
+		if !have || rec.State != proto.TaskPending {
 			continue // finished or vanished while queued
 		}
 		if rec.Params == nil && rec.Service == "" {
@@ -648,12 +764,8 @@ func (c *Coordinator) assign(server proto.NodeID, limit int) []proto.TaskAssignm
 		c.store.Put(rec)
 		c.persistJob(rec)
 		task := proto.TaskID{Call: call, Instance: rec.Instance}
-		c.ongoing[call] = ongoingInfo{server: server, task: task, assignedAt: c.env.Now()}
-		if c.byServer[server] == nil {
-			c.byServer[server] = make(map[proto.CallID]bool)
-		}
-		c.byServer[server][call] = true
-		c.servers.Watch(server)
+		c.ongoing[call] = ongoingInfo{server: server, task: task, assignedAt: now}
+		c.bindToServer(server, call)
 		c.markDirty(call)
 		out = append(out, proto.TaskAssignment{
 			Task:       task,
@@ -664,7 +776,20 @@ func (c *Coordinator) assign(server proto.NodeID, limit int) []proto.TaskAssignm
 		})
 		limit--
 	}
+	if len(out) == 0 && limit > 0 && c.eng.Len() == 0 {
+		c.maybeSteal()
+	}
 	return out
+}
+
+// bindToServer indexes an assignment under its server and watches the
+// server for suspicion.
+func (c *Coordinator) bindToServer(server proto.NodeID, call proto.CallID) {
+	if c.byServer[server] == nil {
+		c.byServer[server] = make(map[proto.CallID]bool)
+	}
+	c.byServer[server][call] = true
+	c.servers.Watch(server)
 }
 
 func (c *Coordinator) handleTaskResult(from proto.NodeID, m *proto.TaskResult) {
@@ -680,6 +805,14 @@ func (c *Coordinator) handleTaskResult(from proto.NodeID, m *proto.TaskResult) {
 		c.env.Send(from, &proto.TaskResultAck{Task: m.Task})
 		return
 	}
+	// Feed the speed estimator before the assignment bookkeeping is
+	// cleared.
+	if info, on := c.ongoing[m.Task.Call]; on && info.server == from {
+		c.observeCompletion(from, rec, info, m.Exec)
+	} else if info, on := c.spec[m.Task.Call]; on && info.server == from {
+		c.observeCompletion(from, rec, info, m.Exec)
+		c.specWins++
+	}
 	rec.State = proto.TaskFinished
 	rec.Output = m.Output
 	rec.ResultErr = m.Err
@@ -687,7 +820,7 @@ func (c *Coordinator) handleTaskResult(from proto.NodeID, m *proto.TaskResult) {
 	c.store.Put(rec)
 	c.persistJob(rec)
 	c.noteSeq(rec.Call)
-	c.clearOngoing(m.Task.Call)
+	c.clearOngoing(m.Task.Call, from)
 	c.unqueue(m.Task.Call)
 	c.markDirty(m.Task.Call)
 	c.finished++
@@ -697,6 +830,18 @@ func (c *Coordinator) handleTaskResult(from proto.NodeID, m *proto.TaskResult) {
 	c.afterDBCost(func() {
 		c.env.Send(from, &proto.TaskResultAck{Task: m.Task})
 	})
+}
+
+// observeCompletion feeds one finished execution into the speed
+// estimator: prefer the server's measured execution duration; fall
+// back to the assignment-to-result clock (which crash downtimes and
+// upload retries inflate) when the result does not carry one.
+func (c *Coordinator) observeCompletion(server proto.NodeID, rec *proto.JobRecord, info ongoingInfo, measured time.Duration) {
+	actual := measured
+	if actual <= 0 {
+		actual = c.env.Now().Sub(info.assignedAt)
+	}
+	c.eng.ObserveCompletion(server, rec.ExecTime, actual)
 }
 
 func (c *Coordinator) handleServerSync(from proto.NodeID, m *proto.ServerSync) {
@@ -719,6 +864,22 @@ func (c *Coordinator) handleServerSync(from proto.NodeID, m *proto.ServerSync) {
 		alive[t] = true
 	}
 	grace := 3 * c.cfg.HeartbeatPeriod
+	for _, call := range sortedCalls(c.spec) {
+		info := c.spec[call]
+		if info.server != from || alive[info.task] {
+			continue
+		}
+		if c.env.Now().Sub(info.assignedAt) < grace {
+			continue
+		}
+		// A speculative duplicate died with the previous incarnation;
+		// the primary instance is still out, so just drop the copy (a
+		// future sweep may re-duplicate).
+		delete(c.spec, call)
+		if set := c.byServer[from]; set != nil {
+			delete(set, call)
+		}
+	}
 	for _, call := range sortedCalls(c.ongoing) {
 		info := c.ongoing[call]
 		if info.server != from || alive[info.task] {
@@ -733,16 +894,10 @@ func (c *Coordinator) handleServerSync(from proto.NodeID, m *proto.ServerSync) {
 		if set := c.byServer[from]; set != nil {
 			delete(set, call)
 		}
-		rec, ok := c.store.Peek(call)
-		if !ok || rec.State != proto.TaskOngoing {
+		if c.promoteSpeculative(call) {
 			continue
 		}
-		rec.State = proto.TaskPending
-		c.store.Put(rec)
-		c.persistJob(rec)
-		c.enqueue(call)
-		c.markDirty(call)
-		c.rescheduled++
+		c.requeue(call)
 	}
 
 	c.afterDBCost(func() {
@@ -751,54 +906,118 @@ func (c *Coordinator) handleServerSync(from proto.NodeID, m *proto.ServerSync) {
 }
 
 // onServerSuspected implements the "on suspicion" replication strategy:
-// schedule new instances of all RPC calls forwarded to the suspect.
+// schedule new instances of all RPC calls forwarded to the suspect. A
+// call whose speculative duplicate survives on another server is
+// promoted instead of re-queued; a duplicate lost with the suspect is
+// simply dropped (the primary is still out).
 func (c *Coordinator) onServerSuspected(server proto.NodeID) {
+	// A suspect no longer counts as drain capacity in the admission
+	// gate; it re-earns its speed estimate if it returns.
+	c.eng.ForgetServer(server)
 	calls := c.byServer[server]
 	if len(calls) == 0 {
 		return
 	}
 	c.env.Logf("coordinator: suspect server %s, rescheduling %d calls", server, len(calls))
 	for _, call := range sortedCalls(calls) {
+		if info, ok := c.spec[call]; ok && info.server == server {
+			delete(c.spec, call)
+			continue
+		}
 		info, ok := c.ongoing[call]
 		if !ok || info.server != server {
 			continue
 		}
 		delete(c.ongoing, call)
-		rec, ok := c.store.Peek(call)
-		if !ok || rec.State != proto.TaskOngoing {
+		if c.promoteSpeculative(call) {
 			continue
 		}
-		rec.State = proto.TaskPending
-		c.store.Put(rec)
-		c.persistJob(rec)
-		c.enqueue(call)
-		c.markDirty(call)
-		c.rescheduled++
+		c.requeue(call)
 	}
 	delete(c.byServer, server)
 }
 
-func (c *Coordinator) clearOngoing(call proto.CallID) {
+// promoteSpeculative upgrades a call's speculative duplicate to the
+// primary assignment after the primary's server was lost. Reports
+// whether a duplicate existed.
+func (c *Coordinator) promoteSpeculative(call proto.CallID) bool {
+	info, ok := c.spec[call]
+	if !ok {
+		return false
+	}
+	delete(c.spec, call)
+	c.ongoing[call] = info
+	return true
+}
+
+// clearOngoing drops every live assignment of the call once a result
+// is stored. winner names the server whose result won ("" when the
+// result arrived via replication or shard sync); every other holder of
+// an instance is sent a best-effort TaskCancel so losing speculative
+// copies stop wasting cycles — idempotently: a server that already
+// executed just has its duplicate result deduplicated here later.
+func (c *Coordinator) clearOngoing(call proto.CallID, winner proto.NodeID) {
 	if info, ok := c.ongoing[call]; ok {
 		delete(c.ongoing, call)
 		if set := c.byServer[info.server]; set != nil {
 			delete(set, call)
 		}
+		if info.server != winner {
+			c.env.Send(info.server, &proto.TaskCancel{Task: info.task})
+		}
+	}
+	if info, ok := c.spec[call]; ok {
+		delete(c.spec, call)
+		if set := c.byServer[info.server]; set != nil {
+			delete(set, call)
+		}
+		if info.server != winner {
+			c.env.Send(info.server, &proto.TaskCancel{Task: info.task})
+		}
 	}
 	delete(c.fromPredecessor, call)
+	delete(c.stolenOut, call)
 }
 
-func (c *Coordinator) enqueue(call proto.CallID) {
-	if c.inQueue[call] {
-		return
+// enqueue inserts one pending call into the scheduling engine with its
+// record's metadata; the engine's membership check makes every
+// insertion path duplicate-safe. It reports whether the call was newly
+// queued.
+func (c *Coordinator) enqueue(call proto.CallID) bool {
+	var exec time.Duration
+	var deadline time.Time
+	if rec, ok := c.store.Peek(call); ok {
+		exec, deadline = rec.ExecTime, rec.Deadline
 	}
-	c.inQueue[call] = true
-	c.pendingQueue = append(c.pendingQueue, call)
+	return c.eng.Enqueue(call, exec, deadline, c.env.Now())
 }
 
 func (c *Coordinator) unqueue(call proto.CallID) {
-	delete(c.inQueue, call)
-	// Lazy removal: assign() skips non-pending records.
+	c.eng.Unqueue(call)
+}
+
+// requeue is the single re-insertion path for every reissue of a lost,
+// dying or withdrawn assignment (server suspicion, peer-wise sync,
+// predecessor release, shard adoption, steal reclaim): it resets the
+// record to pending, re-queues it and counts the reissue in the
+// rescheduled stat, so no path can bypass the duplicate check or the
+// accounting. It reports whether the call is schedulable again.
+func (c *Coordinator) requeue(call proto.CallID) bool {
+	rec, ok := c.store.Peek(call)
+	if !ok || rec.State == proto.TaskFinished {
+		return false
+	}
+	if rec.Service == "" && rec.Params == nil {
+		return false // placeholder learned via replication without data
+	}
+	rec.State = proto.TaskPending
+	c.store.Put(rec)
+	c.persistJob(rec)
+	if c.enqueue(call) {
+		c.rescheduled++
+	}
+	c.markDirty(call)
+	return true
 }
 
 // ---------------------------------------------------------------------
@@ -898,7 +1117,7 @@ func (c *Coordinator) handleReplicaUpdate(from proto.NodeID, m *proto.ReplicaUpd
 			c.store.Put(rec)
 			c.persistJob(rec)
 			c.noteSeq(rec.Call)
-			c.clearOngoing(rec.Call)
+			c.clearOngoing(rec.Call, rec.Server)
 			c.unqueue(rec.Call)
 			c.finished++
 			if c.cfg.OnJobFinished != nil {
@@ -963,19 +1182,9 @@ func (c *Coordinator) onCoordinatorSuspected(id proto.NodeID) {
 		released := 0
 		for _, call := range sortedCalls(c.fromPredecessor) {
 			delete(c.fromPredecessor, call)
-			rec, ok := c.store.Peek(call)
-			if !ok || rec.State != proto.TaskOngoing {
-				continue
+			if c.requeue(call) {
+				released++
 			}
-			if rec.Service == "" && rec.Params == nil {
-				continue // no data to schedule from
-			}
-			rec.State = proto.TaskPending
-			c.store.Put(rec)
-			c.persistJob(rec)
-			c.enqueue(call)
-			c.markDirty(call)
-			released++
 		}
 		if released > 0 {
 			c.env.Logf("coordinator: released %d tasks of suspected predecessor %s", released, id)
@@ -1124,19 +1333,9 @@ func (c *Coordinator) adopt(s int) {
 			continue
 		}
 		delete(c.fromShard, call)
-		rec, ok := c.store.Peek(call)
-		if !ok || rec.State == proto.TaskFinished {
-			continue
+		if c.requeue(call) {
+			released++
 		}
-		if rec.Service == "" && rec.Params == nil {
-			continue // no data to schedule from; the client will resend
-		}
-		rec.State = proto.TaskPending
-		c.store.Put(rec)
-		c.persistJob(rec)
-		c.enqueue(call)
-		c.markDirty(call)
-		released++
 	}
 	c.env.Logf("coordinator: adopted shard %d (%d held tasks released)", s, released)
 }
@@ -1273,11 +1472,15 @@ func (c *Coordinator) handleShardSync(from proto.NodeID, m *proto.ShardSync) {
 		case ok && local.State == proto.TaskFinished:
 			// Finished tasks are never regressed.
 		case incoming.State == proto.TaskFinished:
+			if _, stolen := c.stolenOut[incoming.Call]; stolen {
+				// A job we granted to an idle thief shard came home.
+				c.stolenHome++
+			}
 			rec := incoming.Clone()
 			c.store.Put(rec)
 			c.persistJob(rec)
 			c.noteSeq(rec.Call)
-			c.clearOngoing(rec.Call)
+			c.clearOngoing(rec.Call, rec.Server)
 			c.unqueue(rec.Call)
 			delete(c.fromShard, rec.Call)
 			c.finished++
@@ -1288,6 +1491,13 @@ func (c *Coordinator) handleShardSync(from proto.NodeID, m *proto.ShardSync) {
 			// circle) so the copy survives our own faults too.
 			c.markDirty(rec.Call)
 		default:
+			if c.locallyClaimed(incoming.Call) {
+				// We are scheduling or executing this call ourselves —
+				// typically work stolen from the sync's sender, whose
+				// ongoing-marked copy echoes back here. The passive
+				// copy must not clobber the live claim.
+				continue
+			}
 			rec := incoming.Clone()
 			if ok && local.Params != nil && rec.Params == nil {
 				rec.Params = local.Params
@@ -1348,6 +1558,269 @@ func (c *Coordinator) handleShardSyncAck(from proto.NodeID, m *proto.ShardSyncAc
 	}
 }
 
+// ringPrimary reports whether this coordinator is the member of its
+// ring that clients and servers currently prefer (the first
+// non-suspected coordinator in the common sorted order they all use).
+func (c *Coordinator) ringPrimary() bool {
+	for _, id := range c.coords {
+		if id == c.env.Self() {
+			return true
+		}
+		if !c.ring.Suspected(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// locallyClaimed reports whether this coordinator is actively
+// scheduling or executing the call (pending in the engine, assigned,
+// or speculatively duplicated) — e.g. work stolen from another shard.
+func (c *Coordinator) locallyClaimed(call proto.CallID) bool {
+	if c.eng.Queued(call) {
+		return true
+	}
+	if _, ok := c.ongoing[call]; ok {
+		return true
+	}
+	if _, ok := c.spec[call]; ok {
+		return true
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// Scheduling sweep: lateness observation + speculative duplication
+// ---------------------------------------------------------------------
+
+func (c *Coordinator) scheduleSpeculation() {
+	if !c.eng.NeedsSweep() {
+		// fcfs/deadline never read the estimator: don't pay an
+		// O(ongoing) walk per heartbeat period on the default path.
+		return
+	}
+	c.specTimer = c.env.After(c.cfg.HeartbeatPeriod, func() {
+		c.schedSweep()
+		c.scheduleSpeculation()
+	})
+}
+
+// schedSweep walks the in-flight assignments once per heartbeat
+// period. Every policy gets the lateness feed (a task running past its
+// expected duration classifies its server as slow without waiting for
+// a completion that may never come). Under the speculative policy the
+// sweep additionally issues redundant instances of stragglers: when an
+// assignment's age exceeds the engine's threshold, a duplicate is
+// queued for any fast server but the one running the original. The
+// first stored result wins; the loser is cancelled by clearOngoing
+// and, should its result arrive anyway, deduplicated by CallID — the
+// same mechanism that already makes re-execution safe across
+// replication, shard sync and coordinator failover.
+func (c *Coordinator) schedSweep() {
+	now := c.env.Now()
+	speculate := c.eng.Speculative()
+	// Per server, only the oldest assignment feeds the lateness
+	// estimate: that is the one actually executing; younger ones may
+	// merely be waiting in the server's backlog, and counting their
+	// queue wait as slowness would brand a busy fast machine slow.
+	// An order-independent reduction: no sort needed for determinism.
+	oldest := make(map[proto.NodeID]time.Time, len(c.byServer))
+	for _, info := range c.ongoing {
+		if at, ok := oldest[info.server]; !ok || info.assignedAt.Before(at) {
+			oldest[info.server] = info.assignedAt
+		}
+	}
+	for _, call := range sortedCalls(c.ongoing) {
+		info := c.ongoing[call]
+		rec, ok := c.store.Peek(call)
+		if !ok || rec.State != proto.TaskOngoing {
+			continue
+		}
+		age := now.Sub(info.assignedAt)
+		// Only a server that is demonstrably alive gets branded slow by
+		// lateness: a crashed one's assignment also ages, but that is
+		// the suspicion machinery's business, not the estimator's.
+		if info.assignedAt.Equal(oldest[info.server]) &&
+			c.servers.ObservedWithin(info.server, 3*c.cfg.HeartbeatPeriod) {
+			c.eng.ObserveLateness(info.server, rec.ExecTime, age)
+		}
+		if !speculate {
+			continue
+		}
+		if _, dup := c.spec[call]; dup {
+			continue // already duplicated once
+		}
+		if age < c.eng.SpeculateThreshold(rec.ExecTime) {
+			continue
+		}
+		c.eng.EnqueueSpec(call, info.server)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Cross-shard work stealing
+// ---------------------------------------------------------------------
+
+// maybeSteal (thief side) asks the successor shard for work when the
+// local queue is empty while a server is idle. The successor direction
+// is deliberate: this coordinator's ShardSync already flows to that
+// shard, so the stolen tasks' results are routed home by the existing
+// cross-replication path. At most one request is outstanding and
+// requests are throttled to the heartbeat period.
+func (c *Coordinator) maybeSteal() {
+	if !c.cfg.WorkStealing || c.smap == nil || c.stealPending || c.stopped {
+		return
+	}
+	now := c.env.Now()
+	if !c.lastStealAt.IsZero() && now.Sub(c.lastStealAt) < c.cfg.HeartbeatPeriod {
+		return
+	}
+	succ := c.smap.SuccessorShard(c.shardIdx)
+	if succ == c.shardIdx || c.adopted[succ] {
+		return
+	}
+	ring := c.smap.Ring(succ)
+	if len(ring) == 0 {
+		return
+	}
+	target := ring[c.stealIx%len(ring)]
+	c.stealRound++
+	round := c.stealRound
+	c.stealPending = true
+	c.lastStealAt = now
+	c.env.Send(target, &proto.StealRequest{
+		From:     c.env.Self(),
+		Shard:    c.shardIdx,
+		Epoch:    c.epoch,
+		Round:    round,
+		Capacity: c.cfg.StealBatch,
+	})
+	// A silent victim must not wedge stealing: give up on this round
+	// after the suspicion timeout and rotate to another ring member.
+	c.env.After(c.cfg.HeartbeatTimeout, func() {
+		if c.stealPending && c.stealRound == round {
+			c.stealPending = false
+			c.stealIx++
+		}
+	})
+}
+
+// handleStealRequest (victim side) grants up to Capacity pending jobs
+// to an idle predecessor shard. Granted jobs are marked ongoing (so
+// local servers do not also execute them), tracked for timeout reclaim
+// and — unlike replication — shipped with their full parameter
+// payloads, which the thief needs to execute.
+func (c *Coordinator) handleStealRequest(from proto.NodeID, m *proto.StealRequest) {
+	if !c.cfg.WorkStealing || c.smap == nil {
+		return
+	}
+	if c.smap.SuccessorShard(m.Shard) != c.shardIdx {
+		// Only a shard we cross-replicate from may steal here: any
+		// other thief could not route results home over ShardSync.
+		return
+	}
+	if !c.ringPrimary() {
+		// A replica's queue mirrors pending records learned via
+		// ReplicaUpdate; granting from the mirror would double-execute
+		// work the ring's serving member still schedules locally.
+		return
+	}
+	grant := &proto.StealGrant{From: c.env.Self(), Shard: c.shardIdx, Epoch: m.Epoch, Round: m.Round}
+	limit := m.Capacity
+	if limit > c.cfg.StealBatch {
+		limit = c.cfg.StealBatch
+	}
+	now := c.env.Now()
+	for limit > 0 {
+		call, ok := c.eng.PopSteal()
+		if !ok {
+			break
+		}
+		rec, have := c.store.Peek(call)
+		if !have || rec.State != proto.TaskPending {
+			continue
+		}
+		if rec.Service == "" && rec.Params == nil {
+			continue // placeholder without data
+		}
+		rec.State = proto.TaskOngoing
+		rec.Instance++
+		c.store.Put(rec)
+		c.persistJob(rec)
+		c.stolenOut[call] = stolenOutInfo{shard: m.Shard, grantedAt: now}
+		c.stolenOutTotal++
+		c.markDirty(call)
+		grant.Jobs = append(grant.Jobs, *rec.Clone())
+		limit--
+	}
+	if len(grant.Jobs) > 0 {
+		c.env.After(c.stealReclaimAfter(), c.reclaimStolen)
+	}
+	c.afterDBCost(func() { c.env.Send(from, grant) })
+}
+
+// stealReclaimAfter bounds how long a granted job may stay out before
+// the victim re-queues it: long enough for the thief to execute and
+// for a ShardSync round to bring the result home, short enough that a
+// dying thief does not stall the batch. A late duplicate execution is
+// ordinary at-least-once behaviour.
+func (c *Coordinator) stealReclaimAfter() time.Duration {
+	d := 2 * c.cfg.HeartbeatTimeout
+	if p := c.cfg.ShardSyncPeriod; p > 0 && 2*p > d {
+		d = 2 * p
+	}
+	return d
+}
+
+// reclaimStolen re-queues granted jobs whose results never came home.
+func (c *Coordinator) reclaimStolen() {
+	now := c.env.Now()
+	deadline := c.stealReclaimAfter()
+	for _, call := range sortedCalls(c.stolenOut) {
+		if now.Sub(c.stolenOut[call].grantedAt) < deadline {
+			continue
+		}
+		delete(c.stolenOut, call)
+		c.requeue(call)
+	}
+}
+
+// handleStealGrant (thief side) queues the granted foreign jobs
+// locally. Results will flow home through the regular ShardSync round
+// because handleTaskResult marks every finished record cross-shard
+// dirty; the CallID-keyed store keeps a racing home-side re-execution
+// harmless.
+func (c *Coordinator) handleStealGrant(from proto.NodeID, m *proto.StealGrant) {
+	if m.Epoch != c.epoch || m.Round != c.stealRound {
+		return // stale grant from a previous round or incarnation
+	}
+	c.stealPending = false
+	if len(m.Jobs) == 0 {
+		// Nothing to take from this member; rotate so the next request
+		// reaches another victim-ring coordinator (work submitted to a
+		// ring-mate only mirrors here after a replication round).
+		c.stealIx++
+		return
+	}
+	for i := range m.Jobs {
+		incoming := &m.Jobs[i]
+		if local, ok := c.store.Peek(incoming.Call); ok && local.State == proto.TaskFinished {
+			continue // result already here; ShardSync will carry it home
+		}
+		if c.locallyClaimed(incoming.Call) {
+			continue // a re-grant raced the victim's reclaim
+		}
+		rec := incoming.Clone()
+		rec.State = proto.TaskPending
+		c.store.Put(rec)
+		c.persistJob(rec)
+		c.noteSeq(rec.Call)
+		delete(c.fromShard, rec.Call) // now actively ours, not passive
+		c.enqueue(rec.Call)
+		c.stolenIn++
+	}
+}
+
 // sortedCalls returns the map's keys ordered by CallID, so protocol
 // actions never depend on Go's randomized map iteration (determinism).
 func sortedCalls[V any](m map[proto.CallID]V) []proto.CallID {
@@ -1379,6 +1852,12 @@ type Stats struct {
 	Redirects       int
 	Adoptions       int
 	ShardSyncRounds uint64
+	Policy          string
+	Speculated      int // redundant task instances issued
+	SpecWins        int // results won by the speculative copy
+	StolenIn        int // tasks stolen from the successor shard and run here
+	StolenOut       int // pending tasks granted away to an idle thief shard
+	StolenHome      int // granted tasks whose result came home via ShardSync
 }
 
 // StatsNow returns the current counters. Event-loop only.
@@ -1407,8 +1886,17 @@ func (c *Coordinator) StatsNow() Stats {
 		Redirects:       c.redirects,
 		Adoptions:       c.adoptions,
 		ShardSyncRounds: c.xrounds,
+		Policy:          c.eng.PolicyName(),
+		Speculated:      c.speculated,
+		SpecWins:        c.specWins,
+		StolenIn:        c.stolenIn,
+		StolenOut:       c.stolenOutTotal,
+		StolenHome:      c.stolenHome,
 	}
 }
+
+// PolicyName returns the active scheduling policy. Event-loop only.
+func (c *Coordinator) PolicyName() string { return c.eng.PolicyName() }
 
 // ShardIndex returns this coordinator's shard, or -1 when unsharded.
 func (c *Coordinator) ShardIndex() int { return c.shardIdx }

@@ -124,6 +124,14 @@ func (m *Monitor) Watch(id proto.NodeID) {
 	}
 }
 
+// ObservedWithin reports whether id produced a sign of life within the
+// last d. A component that is late on a task yet still heartbeating is
+// slow, not crashed — the distinction the scheduling estimator needs.
+func (m *Monitor) ObservedWithin(id proto.NodeID, d time.Duration) bool {
+	seen, ok := m.lastSeen[id]
+	return ok && m.env.Now().Sub(seen) <= d
+}
+
 // Forget stops tracking id entirely.
 func (m *Monitor) Forget(id proto.NodeID) {
 	delete(m.lastSeen, id)

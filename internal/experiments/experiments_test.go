@@ -294,3 +294,57 @@ func TestShardScaleMonotonicThroughput(t *testing.T) {
 		t.Errorf("mean sync latency grew with shards: %v -> %v", df, dl)
 	}
 }
+
+// TestSchedCompareShapes asserts the scheduling subsystem's headline
+// comparisons: under the heterogeneous-straggler fault workload,
+// speculative execution and fastest-first matchmaking both beat FCFS
+// on makespan and p95 latency; work stealing recruits the idle shard,
+// cuts the makespan and never duplicates an execution or a stored
+// result.
+func TestSchedCompareShapes(t *testing.T) {
+	r := SchedCompare(quick())
+	dump(t, r)
+
+	policies := r.Tables[0]
+	row := map[string]int{}
+	for i := 0; i < policies.Rows(); i++ {
+		row[policies.Cell(i, 0)] = i
+	}
+	makespan := func(p string) time.Duration { return parseDur(t, policies.Cell(row[p], 1)) }
+	p95 := func(p string) time.Duration { return parseDur(t, policies.Cell(row[p], 3)) }
+
+	for _, p := range []string{"fastest-first", "speculative"} {
+		if makespan(p) >= makespan("fcfs") {
+			t.Errorf("%s makespan %v not below fcfs %v", p, makespan(p), makespan("fcfs"))
+		}
+		if p95(p) >= p95("fcfs") {
+			t.Errorf("%s p95 %v not below fcfs %v", p, p95(p), p95("fcfs"))
+		}
+	}
+	var specIssued int
+	fmt.Sscanf(policies.Cell(row["speculative"], 5), "%d", &specIssued)
+	if specIssued == 0 {
+		t.Error("speculative policy never issued a duplicate")
+	}
+
+	steal := r.Tables[1]
+	offMk := parseDur(t, steal.Cell(0, 1))
+	onMk := parseDur(t, steal.Cell(1, 1))
+	if onMk >= offMk {
+		t.Errorf("work stealing makespan %v not below no-stealing %v", onMk, offMk)
+	}
+	var stolen, execOff, execOn, dups int
+	fmt.Sscanf(steal.Cell(1, 2), "%d", &stolen)
+	fmt.Sscanf(steal.Cell(0, 3), "%d", &execOff)
+	fmt.Sscanf(steal.Cell(1, 3), "%d", &execOn)
+	fmt.Sscanf(steal.Cell(1, 4), "%d", &dups)
+	if stolen == 0 {
+		t.Error("idle shard never stole work")
+	}
+	if execOn != execOff {
+		t.Errorf("stealing changed total executions: %d vs %d (duplicates?)", execOn, execOff)
+	}
+	if dups != 0 {
+		t.Errorf("stealing produced %d duplicate stored results", dups)
+	}
+}

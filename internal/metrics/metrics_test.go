@@ -163,3 +163,96 @@ func TestFormatBytes(t *testing.T) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.N() != 0 || h.Mean() != 0 || h.P50() != 0 || h.P99() != 0 {
+		t.Fatalf("empty histogram not zero: %s", h.String())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 100 observations: 1..100 ms.
+	for i := 1; i <= 100; i++ {
+		h.Add(time.Duration(i) * time.Millisecond)
+	}
+	if h.N() != 100 {
+		t.Fatalf("n = %d", h.N())
+	}
+	// Bucket resolution is ~9%: accept that error margin around the
+	// exact quantiles.
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{{0.50, 50 * time.Millisecond}, {0.95, 95 * time.Millisecond}, {0.99, 99 * time.Millisecond}}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		lo := c.want - c.want/8
+		hi := c.want + c.want/8
+		if got < lo || got > hi {
+			t.Errorf("q%.2f = %v, want within [%v, %v]", c.q, got, lo, hi)
+		}
+	}
+	if got, want := h.Mean(), 50500*time.Microsecond; got != want {
+		t.Errorf("mean = %v, want %v (exact)", got, want)
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Errorf("max = %v", h.Max())
+	}
+	// Quantiles are clamped to observed extremes.
+	if h.Quantile(0) < time.Millisecond || h.Quantile(1) != 100*time.Millisecond {
+		t.Errorf("extreme quantiles: q0=%v q1=%v", h.Quantile(0), h.Quantile(1))
+	}
+}
+
+func TestHistogramSkewedTail(t *testing.T) {
+	var h Histogram
+	// 95 fast observations and five 10x stragglers: p99 must surface
+	// the tail that a mean hides.
+	for i := 0; i < 95; i++ {
+		h.Add(10 * time.Second)
+	}
+	for i := 0; i < 5; i++ {
+		h.Add(100 * time.Second)
+	}
+	if p99 := h.P99(); p99 < 80*time.Second {
+		t.Fatalf("p99 = %v, straggler invisible", p99)
+	}
+	if p50 := h.P50(); p50 > 12*time.Second {
+		t.Fatalf("p50 = %v, distorted by the tail", p50)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 50; i++ {
+		a.Add(time.Millisecond)
+		b.Add(time.Second)
+	}
+	a.Merge(&b)
+	if a.N() != 100 {
+		t.Fatalf("merged n = %d", a.N())
+	}
+	if a.Max() != time.Second || a.Quantile(0) != time.Millisecond {
+		t.Fatalf("merged extremes: min=%v max=%v", a.Quantile(0), a.Max())
+	}
+	med := a.P50()
+	if med < time.Millisecond || med > time.Second {
+		t.Fatalf("merged median = %v out of range", med)
+	}
+}
+
+func TestHistogramSubMicrosecond(t *testing.T) {
+	var h Histogram
+	h.Add(0)
+	h.Add(500 * time.Nanosecond)
+	h.Add(-time.Second) // clamped to zero, not a panic
+	if h.N() != 3 || h.Max() != 500*time.Nanosecond {
+		t.Fatalf("sub-us handling: n=%d max=%v", h.N(), h.Max())
+	}
+}

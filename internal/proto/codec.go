@@ -22,6 +22,7 @@ func init() {
 	gob.Register(&HeartbeatAck{})
 	gob.Register(&TaskResult{})
 	gob.Register(&TaskResultAck{})
+	gob.Register(&TaskCancel{})
 	gob.Register(&ServerSync{})
 	gob.Register(&ServerSyncReply{})
 	gob.Register(&ReplicaUpdate{})
@@ -31,6 +32,8 @@ func init() {
 	gob.Register(&ShardRedirect{})
 	gob.Register(&ShardSync{})
 	gob.Register(&ShardSyncAck{})
+	gob.Register(&StealRequest{})
+	gob.Register(&StealGrant{})
 }
 
 // EncodeJob serializes a job record for durable storage.

@@ -18,8 +18,9 @@ func allMessages() []Message {
 		VNodes:  64,
 		Rings:   [][]NodeID{{"coord-00", "coord-01"}, {"coord-02", "coord-03"}},
 	}
+	deadline := time.Unix(1_000_000_600, 0).UTC()
 	return []Message{
-		&Submit{Call: call, Service: "svc", Params: []byte{1, 2}, ExecTime: time.Second, ResultSize: 8},
+		&Submit{Call: call, Service: "svc", Params: []byte{1, 2}, ExecTime: time.Second, ResultSize: 8, Deadline: time.Minute},
 		&SubmitAck{Call: call, MaxSeq: 42},
 		&Poll{User: "user-01", Session: 7, Have: []RPCSeq{1, 2, 3}},
 		&Results{User: "user-01", Session: 7, Results: []Result{{Call: call, Output: []byte{9}, Err: "e", Server: "server-000"}}},
@@ -29,8 +30,9 @@ func allMessages() []Message {
 		&FetchReply{Call: call, Known: true, Finished: true, Result: Result{Call: call, Output: []byte{4}}},
 		&Heartbeat{From: "server-000", Role: RoleServer, Capacity: 2, WantWork: true},
 		&HeartbeatAck{From: "coord-00", Tasks: []TaskAssignment{{Task: task, Service: "svc", Params: []byte{5}}}, Coordinators: []NodeID{"coord-00"}},
-		&TaskResult{From: "server-000", Task: task, Output: []byte{6}, Err: "x"},
+		&TaskResult{From: "server-000", Task: task, Output: []byte{6}, Err: "x", Exec: time.Second},
 		&TaskResultAck{Task: task},
+		&TaskCancel{Task: task},
 		&ServerSync{From: "server-000", Tasks: []TaskID{task}, Running: []TaskID{task}},
 		&ServerSyncReply{Resend: []TaskID{task}, Drop: []TaskID{task}},
 		&ReplicaUpdate{From: "coord-00", Epoch: 2, Round: 5, Jobs: []JobRecord{{Call: call, Service: "svc", State: TaskFinished, Output: []byte{7}}}, MaxSeqs: []SessionMax{{User: "user-01", Session: 7, MaxSeq: 42}}},
@@ -40,6 +42,10 @@ func allMessages() []Message {
 		&ShardRedirect{From: "coord-00", User: "user-01", Session: 7, Call: call, Shard: 1, Map: st},
 		&ShardSync{From: "coord-00", Shard: 0, Epoch: 2, Round: 5, Jobs: []JobRecord{{Call: call, State: TaskFinished}}, Sessions: []SessionSeqs{{User: "user-01", Session: 7, Seqs: []RPCSeq{1, 42}}}},
 		&ShardSyncAck{From: "coord-02", Shard: 1, Epoch: 2, Round: 5, Want: []CallID{call}},
+		&StealRequest{From: "coord-02", Shard: 1, Epoch: 2, Round: 3, Capacity: 4},
+		&StealGrant{From: "coord-00", Shard: 0, Epoch: 2, Round: 3, Jobs: []JobRecord{
+			{Call: call, Service: "svc", Params: []byte{8}, ExecTime: time.Second, Deadline: deadline, State: TaskOngoing, Instance: 2},
+		}},
 	}
 }
 
@@ -80,7 +86,7 @@ func TestGobRoundTripCoversEveryMessageType(t *testing.T) {
 		seen[typ] = true
 	}
 	// One sample per concrete Message implementation in this package.
-	const wantTypes = 21
+	const wantTypes = 24
 	if len(seen) != wantTypes {
 		t.Fatalf("allMessages covers %d types, want %d — update the sample list when adding messages", len(seen), wantTypes)
 	}

@@ -36,6 +36,13 @@ type Submit struct {
 	// ResultSize is the synthetic result payload size produced by the
 	// benchmark services; real services ignore it.
 	ResultSize int
+	// Deadline is a soft completion deadline, relative to the
+	// coordinator's registration of the call. Coordinators running the
+	// "deadline" scheduling policy order pending work
+	// earliest-deadline-first; other policies and a zero value ignore
+	// it. Soft: a missed deadline changes nothing about the at-least-
+	// once execution guarantee.
+	Deadline time.Duration
 }
 
 // Kind implements Message.
@@ -231,6 +238,11 @@ type TaskResult struct {
 	Task   TaskID
 	Output []byte
 	Err    string
+	// Exec is the execution duration the server measured for this
+	// instance (0 when unknown). The coordinator's speed estimator
+	// prefers it over its own assignment-to-result clock, which crash
+	// downtimes and upload retries inflate.
+	Exec time.Duration
 }
 
 // Kind implements Message.
@@ -250,6 +262,22 @@ func (*TaskResultAck) Kind() string { return "task-result-ack" }
 
 // WireSize implements Message.
 func (m *TaskResultAck) WireSize() int { return headerSize }
+
+// TaskCancel tells a server that a task instance it holds is no longer
+// wanted: another instance's result was already stored (speculative
+// execution lost the race, or the result arrived through replication).
+// Cancellation is best-effort and idempotent — a server that already
+// executed or never received the instance just discards the message;
+// an uploaded loser result deduplicates on the coordinator anyway.
+type TaskCancel struct {
+	Task TaskID
+}
+
+// Kind implements Message.
+func (*TaskCancel) Kind() string { return "task-cancel" }
+
+// WireSize implements Message.
+func (m *TaskCancel) WireSize() int { return headerSize }
 
 // ServerSync performs the server/coordinator synchronization. Servers
 // may hold non-contiguous timestamps for a given client, so the
@@ -381,11 +409,16 @@ type JobRecord struct {
 	Params     []byte
 	ExecTime   time.Duration
 	ResultSize int
-	State      TaskState
-	Instance   uint32 // highest task instance created so far
-	Output     []byte // result payload when State == TaskFinished
-	ResultErr  string
-	Server     NodeID // worker that produced the stored result
+	// Deadline is the absolute soft completion deadline the accepting
+	// coordinator computed from Submit.Deadline (zero: none). It
+	// replicates with the record so a replica promoting the job keeps
+	// the earliest-deadline-first order.
+	Deadline  time.Time
+	State     TaskState
+	Instance  uint32 // highest task instance created so far
+	Output    []byte // result payload when State == TaskFinished
+	ResultErr string
+	Server    NodeID // worker that produced the stored result
 }
 
 func (j *JobRecord) wireSize() int {
@@ -536,3 +569,55 @@ func (*ShardSyncAck) Kind() string { return "shard-sync-ack" }
 
 // WireSize implements Message.
 func (m *ShardSyncAck) WireSize() int { return headerSize + 40*len(m.Want) }
+
+// ---------------------------------------------------------------------
+// Cross-shard work stealing (internal/sched + sharded coordinators)
+// ---------------------------------------------------------------------
+
+// StealRequest advertises idle capacity: a coordinator whose pending
+// queue is empty while its servers keep asking for work offers to
+// execute up to Capacity tasks on behalf of its successor shard. The
+// steal direction follows the shard successor relation on purpose —
+// the thief's ShardSync already flows to its successor, so stolen
+// results are routed home by the existing cross-replication path with
+// no new machinery.
+type StealRequest struct {
+	From     NodeID
+	Shard    int // thief's shard index
+	Epoch    uint64
+	Round    uint64 // thief's steal round; the grant echoes it
+	Capacity int    // maximum number of tasks wanted
+}
+
+// Kind implements Message.
+func (*StealRequest) Kind() string { return "steal-request" }
+
+// WireSize implements Message.
+func (m *StealRequest) WireSize() int { return headerSize }
+
+// StealGrant moves up to the requested number of pending jobs to the
+// thief shard. Unlike replication, a grant carries the full parameter
+// payloads — the thief needs them to execute. The victim marks the
+// granted jobs ongoing and reclaims (re-queues) any whose result has
+// not come home within a timeout, so a dying thief cannot strand work;
+// a late duplicate execution is ordinary at-least-once behaviour and
+// deduplicates by CallID at the store.
+type StealGrant struct {
+	From  NodeID
+	Shard int // victim's shard index
+	Epoch uint64
+	Round uint64 // echoes StealRequest.Round
+	Jobs  []JobRecord
+}
+
+// Kind implements Message.
+func (*StealGrant) Kind() string { return "steal-grant" }
+
+// WireSize implements Message.
+func (m *StealGrant) WireSize() int {
+	n := headerSize
+	for i := range m.Jobs {
+		n += m.Jobs[i].wireSize()
+	}
+	return n
+}

@@ -1,0 +1,607 @@
+// Package sched is the coordinator's pluggable scheduling subsystem.
+//
+// The paper's coordinator schedules strictly first-come-first-served
+// and only re-issues a task after a heartbeat suspicion, so one slow or
+// silently degraded volatile server stalls a whole batch — the
+// straggler regime of the figure-7 fault evaluation. This package
+// factors the scheduling decision out of the coordinator into an
+// Engine that the coordinator delegates every queue operation to, and
+// makes the decision a Policy chosen by name:
+//
+//   - "fcfs" reproduces the paper's behaviour exactly (default);
+//   - "fastest-first" is matchmaking on per-server speed estimates: an
+//     exponentially weighted moving average of observed-vs-expected
+//     completion times classifies servers, and when the pending queue
+//     shrinks to its tail, work is withheld from servers much slower
+//     than the best one so the final tasks land on fast machines;
+//   - "deadline" orders the queue earliest-deadline-first over the
+//     soft per-call deadlines carried by proto.Submit (calls without a
+//     deadline keep FCFS order behind all deadlined ones);
+//   - "speculative" keeps FCFS order but flags stragglers: when a
+//     task's in-flight time exceeds SpeculateFactor times the engine's
+//     completion estimate, the coordinator queues a redundant instance
+//     for a *different* server; the first result wins and the loser is
+//     cancelled. Deduplication is the store's CallID keying, which
+//     already survives replication, shard sync and failover.
+//
+// The Engine also feeds cross-shard work stealing (PopSteal): an idle
+// shard drains another shard's queue without consulting the admission
+// gate, since stolen work executes on a different server population.
+//
+// Policies register themselves by name (Register), so deployments can
+// plug their own without touching the coordinator. All methods are
+// event-loop only, like the coordinator that owns the engine.
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+
+	"rpcv/internal/proto"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Policy is the registered policy name. Empty means "fcfs".
+	Policy string
+
+	// SpeculateFactor is the straggler threshold k of the speculative
+	// policy: a task is duplicated when its in-flight time exceeds
+	// k x max(expected execution time, observed mean completion).
+	// Zero means 2.
+	SpeculateFactor float64
+
+	// SpeculateMin floors the speculation threshold so sub-second tasks
+	// are not duplicated on scheduling jitter. Zero means 2 s.
+	SpeculateMin time.Duration
+
+	// FastFactor classifies servers: one whose slowdown estimate is
+	// within FastFactor x the best server's counts as fast and is
+	// always admitted; slower ones face the matchmaking gate (and are
+	// never handed speculative duplicates). Zero means 2.
+	FastFactor float64
+
+	// StarveAfter bounds how long the admission gate may park the
+	// whole queue: when no task has been handed out for this long
+	// while the head keeps waiting, the gate is bypassed and whoever
+	// asks is served — wrong speed estimates must not stall the batch.
+	// (A queue that is draining through fast servers is not starving,
+	// however old its head.) Zero means 1 min.
+	StarveAfter time.Duration
+
+	// Alpha is the estimator's EWMA smoothing factor in (0, 1].
+	// Zero means 0.3.
+	Alpha float64
+}
+
+func (c *Config) applyDefaults() {
+	if c.Policy == "" {
+		c.Policy = "fcfs"
+	}
+	if c.SpeculateFactor <= 0 {
+		c.SpeculateFactor = 2
+	}
+	if c.SpeculateMin <= 0 {
+		c.SpeculateMin = 2 * time.Second
+	}
+	if c.FastFactor <= 0 {
+		c.FastFactor = 2
+	}
+	if c.StarveAfter <= 0 {
+		c.StarveAfter = time.Minute
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.3
+	}
+}
+
+// Policy decides queue order, admission and speculation for an Engine.
+// Implementations must be stateless or share-nothing per Engine.
+type Policy interface {
+	// Name returns the registered policy name.
+	Name() string
+	// Less orders the pending queue; the engine breaks ties by arrival
+	// sequence, so returning always-false yields pure FCFS.
+	Less(a, b *Task) bool
+	// Admit reports whether server may receive the queue head now.
+	Admit(e *Engine, server proto.NodeID, now time.Time) bool
+	// Speculative reports whether the coordinator should duplicate
+	// straggling in-flight tasks.
+	Speculative() bool
+	// WantsEstimates reports whether the policy consumes the speed
+	// estimator; when false the coordinator skips the periodic
+	// in-flight sweep that feeds lateness observations.
+	WantsEstimates() bool
+}
+
+// Task is one pending entry's scheduling metadata.
+type Task struct {
+	Call     proto.CallID
+	Exec     time.Duration // expected execution time hint (0 unknown)
+	Deadline time.Time     // soft completion deadline (zero: none)
+	Enqueued time.Time
+
+	seq   uint64 // arrival order, the universal tie-break
+	index int    // heap position
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+var registry = map[string]func() Policy{}
+
+// Register installs a policy factory under its name. Registering a
+// duplicate name panics: it is always a wiring bug.
+func Register(name string, factory func() Policy) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("sched: duplicate policy %q", name))
+	}
+	registry[name] = factory
+}
+
+// Policies returns the registered policy names, sorted.
+func Policies() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	Register("fcfs", func() Policy { return fcfs{} })
+	Register("fastest-first", func() Policy { return fastestFirst{} })
+	Register("deadline", func() Policy { return edf{} })
+	Register("speculative", func() Policy { return speculative{} })
+}
+
+// ---------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------
+
+// Engine is the scheduling state the coordinator delegates to: the
+// pending queue (policy-ordered), the speculative-duplicate queue and
+// the per-server speed estimator.
+type Engine struct {
+	cfg    Config
+	policy Policy
+
+	pending pendingHeap
+	queued  map[proto.CallID]*Task // live pending entries by call
+
+	// spec is the FIFO of speculative duplicates awaiting a server
+	// other than the one running the original instance.
+	spec   []specEntry
+	inSpec map[proto.CallID]bool
+
+	est estimator
+	// slots is each server's last-advertised concurrent capacity
+	// (in-flight + free), from the heartbeat stream; unseen servers
+	// count as 1. The admission gate weighs pool throughput with it.
+	slots map[proto.NodeID]int
+	seq   uint64
+	// lastPop is the last time any pending entry was handed out; the
+	// starvation bypass compares against it, so a queue that keeps
+	// flowing through fast servers never counts as starving.
+	lastPop time.Time
+}
+
+type specEntry struct {
+	call    proto.CallID
+	exclude proto.NodeID
+}
+
+// New builds an engine for the configured policy; unknown policy names
+// are an error (the caller decides whether to fall back to FCFS).
+func New(cfg Config) (*Engine, error) {
+	cfg.applyDefaults()
+	factory, ok := registry[cfg.Policy]
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown policy %q (have %v)", cfg.Policy, Policies())
+	}
+	e := &Engine{
+		cfg:    cfg,
+		policy: factory(),
+		queued: make(map[proto.CallID]*Task),
+		inSpec: make(map[proto.CallID]bool),
+		est:    newEstimator(cfg.Alpha),
+		slots:  make(map[proto.NodeID]int),
+	}
+	e.pending.engine = e
+	return e, nil
+}
+
+// PolicyName returns the active policy's name.
+func (e *Engine) PolicyName() string { return e.policy.Name() }
+
+// Speculative reports whether the active policy duplicates stragglers.
+func (e *Engine) Speculative() bool { return e.policy.Speculative() }
+
+// Len returns the number of live pending entries (excluding duplicates).
+func (e *Engine) Len() int { return len(e.queued) }
+
+// Queued reports whether the call has a live pending or speculative
+// entry.
+func (e *Engine) Queued(call proto.CallID) bool {
+	_, p := e.queued[call]
+	return p || e.inSpec[call]
+}
+
+// Enqueue adds one pending call with its scheduling metadata. It
+// returns false when the call is already queued (the single duplicate
+// check every insertion path funnels through).
+func (e *Engine) Enqueue(call proto.CallID, exec time.Duration, deadline time.Time, now time.Time) bool {
+	if _, dup := e.queued[call]; dup {
+		return false
+	}
+	e.seq++
+	t := &Task{Call: call, Exec: exec, Deadline: deadline, Enqueued: now, seq: e.seq}
+	e.queued[call] = t
+	heap.Push(&e.pending, t)
+	return true
+}
+
+// Unqueue drops any pending or speculative entry for the call. Heap
+// removal is lazy: stale entries are skipped at pop time.
+func (e *Engine) Unqueue(call proto.CallID) {
+	delete(e.queued, call)
+	delete(e.inSpec, call)
+}
+
+// EnqueueSpec queues a speculative duplicate of an in-flight call,
+// excluding the server already executing it. Returns false when a
+// duplicate is already queued (or the call is pending anyway).
+func (e *Engine) EnqueueSpec(call proto.CallID, exclude proto.NodeID) bool {
+	if e.inSpec[call] {
+		return false
+	}
+	if _, p := e.queued[call]; p {
+		return false
+	}
+	e.inSpec[call] = true
+	e.spec = append(e.spec, specEntry{call: call, exclude: exclude})
+	return true
+}
+
+// Pop selects the next task for server: speculative duplicates first
+// (any server except the one running the original), then the
+// policy-ordered pending queue behind the admission gate. spec reports
+// which kind was returned; ok is false when nothing is eligible.
+func (e *Engine) Pop(server proto.NodeID, now time.Time) (call proto.CallID, spec, ok bool) {
+	for i := 0; i < len(e.spec); i++ {
+		entry := e.spec[i]
+		if !e.inSpec[entry.call] { // unqueued since; drop lazily
+			e.spec = append(e.spec[:i], e.spec[i+1:]...)
+			i--
+			continue
+		}
+		if entry.exclude == server {
+			continue
+		}
+		if f, ok := e.est.factorOf(server); ok && f > e.cfg.FastFactor*e.est.best() {
+			// A duplicate exists to outrun a straggler; handing it to
+			// another slow machine defeats the point.
+			continue
+		}
+		e.spec = append(e.spec[:i], e.spec[i+1:]...)
+		delete(e.inSpec, entry.call)
+		return entry.call, true, true
+	}
+	for e.pending.Len() > 0 {
+		head := e.pending.tasks[0]
+		if e.queued[head.Call] != head { // unqueued or re-enqueued since
+			heap.Pop(&e.pending)
+			continue
+		}
+		if !e.policy.Admit(e, server, now) && !e.starving(head, now) {
+			return proto.CallID{}, false, false
+		}
+		heap.Pop(&e.pending)
+		delete(e.queued, head.Call)
+		e.lastPop = now
+		return head.Call, false, true
+	}
+	return proto.CallID{}, false, false
+}
+
+// starving reports whether the admission gate has parked the queue:
+// the head has waited past StarveAfter and nothing was handed out in
+// that long either. Then the gate yields to whoever asks.
+func (e *Engine) starving(head *Task, now time.Time) bool {
+	if now.Sub(head.Enqueued) < e.cfg.StarveAfter {
+		return false
+	}
+	return e.lastPop.IsZero() || now.Sub(e.lastPop) >= e.cfg.StarveAfter
+}
+
+// PopSteal pops the pending head for a cross-shard steal grant,
+// bypassing the admission gate (the thief's server population is not
+// the one the gate reasons about). Speculative duplicates never move
+// across shards.
+func (e *Engine) PopSteal() (proto.CallID, bool) {
+	for e.pending.Len() > 0 {
+		head := heap.Pop(&e.pending).(*Task)
+		if e.queued[head.Call] != head {
+			continue
+		}
+		delete(e.queued, head.Call)
+		// Steals deliberately do not touch lastPop: feeding another
+		// shard must not mask local starvation.
+		return head.Call, true
+	}
+	return proto.CallID{}, false
+}
+
+// ObserveCompletion feeds one finished execution into the estimator:
+// expected is the task's execution-time hint (0 when unknown), actual
+// the observed assignment-to-result duration on server.
+func (e *Engine) ObserveCompletion(server proto.NodeID, expected, actual time.Duration) {
+	e.est.observe(server, expected, actual)
+}
+
+// NoteSlots records a server's advertised concurrent task capacity
+// (its in-flight count plus the free capacity its heartbeat offered).
+func (e *Engine) NoteSlots(server proto.NodeID, n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.slots[server] = n
+}
+
+// ForgetServer drops a server's speed estimate and capacity: a
+// suspected or departed machine must stop counting as drain capacity
+// in the admission gate, or dead servers would keep gating live slow
+// ones. A returning server re-earns its estimate.
+func (e *Engine) ForgetServer(server proto.NodeID) {
+	delete(e.est.factor, server)
+	delete(e.slots, server)
+}
+
+// NeedsSweep reports whether the coordinator should run the periodic
+// in-flight sweep (lateness feed and, for speculative policies,
+// straggler duplication) for the active policy.
+func (e *Engine) NeedsSweep() bool {
+	return e.policy.WantsEstimates() || e.policy.Speculative()
+}
+
+// ObserveLateness feeds an in-flight assignment's age into the
+// estimator: a task already running past its expected duration is a
+// lower bound on the server's slowdown, visible long before (or even
+// without) a completion — a silently degraded volatile node may never
+// complete anything, yet must still be classified.
+func (e *Engine) ObserveLateness(server proto.NodeID, expected, age time.Duration) {
+	e.est.observeLate(server, expected, age)
+}
+
+// ServerFactor returns the server's estimated slowdown factor (1 =
+// nominal) and whether any completion has been observed for it.
+func (e *Engine) ServerFactor(server proto.NodeID) (float64, bool) {
+	return e.est.factorOf(server)
+}
+
+// KnownServers returns how many servers the estimator has observed.
+func (e *Engine) KnownServers() int { return len(e.est.factor) }
+
+// MeanCompletion returns the EWMA of observed completion times across
+// all servers (0 before the first completion).
+func (e *Engine) MeanCompletion() time.Duration { return e.est.mean }
+
+// SpeculateThreshold returns the in-flight duration beyond which a
+// task with the given execution hint counts as a straggler.
+func (e *Engine) SpeculateThreshold(exec time.Duration) time.Duration {
+	base := exec
+	if e.est.mean > base {
+		base = e.est.mean
+	}
+	if base < e.cfg.SpeculateMin {
+		base = e.cfg.SpeculateMin
+	}
+	return time.Duration(e.cfg.SpeculateFactor * float64(base))
+}
+
+// ---------------------------------------------------------------------
+// Pending heap
+// ---------------------------------------------------------------------
+
+type pendingHeap struct {
+	tasks  []*Task
+	engine *Engine
+}
+
+func (h *pendingHeap) Len() int { return len(h.tasks) }
+func (h *pendingHeap) Less(i, j int) bool {
+	a, b := h.tasks[i], h.tasks[j]
+	if h.engine.policy.Less(a, b) {
+		return true
+	}
+	if h.engine.policy.Less(b, a) {
+		return false
+	}
+	return a.seq < b.seq
+}
+func (h *pendingHeap) Swap(i, j int) {
+	h.tasks[i], h.tasks[j] = h.tasks[j], h.tasks[i]
+	h.tasks[i].index = i
+	h.tasks[j].index = j
+}
+func (h *pendingHeap) Push(x any) {
+	t := x.(*Task)
+	t.index = len(h.tasks)
+	h.tasks = append(h.tasks, t)
+}
+func (h *pendingHeap) Pop() any {
+	old := h.tasks
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	h.tasks = old[:n-1]
+	return t
+}
+
+// ---------------------------------------------------------------------
+// Estimator
+// ---------------------------------------------------------------------
+
+// estimator keeps per-server slowdown factors (EWMA of actual/expected
+// completion time) and a global completion-time mean. A factor of 1 is
+// nominal speed; a machine 10x slower than its tasks' hints converges
+// to ~10.
+type estimator struct {
+	alpha  float64
+	factor map[proto.NodeID]float64
+	mean   time.Duration
+}
+
+func newEstimator(alpha float64) estimator {
+	return estimator{alpha: alpha, factor: make(map[proto.NodeID]float64)}
+}
+
+func (e *estimator) observe(server proto.NodeID, expected, actual time.Duration) {
+	if actual <= 0 {
+		return
+	}
+	if e.mean == 0 {
+		e.mean = actual
+	} else {
+		e.mean = time.Duration((1-e.alpha)*float64(e.mean) + e.alpha*float64(actual))
+	}
+	ref := expected
+	if ref <= 0 {
+		ref = e.mean
+	}
+	if ref <= 0 {
+		return
+	}
+	ratio := float64(actual) / float64(ref)
+	if old, ok := e.factor[server]; ok {
+		e.factor[server] = (1-e.alpha)*old + e.alpha*ratio
+	} else {
+		e.factor[server] = ratio
+	}
+}
+
+// observeLate raises a server's factor to at least age/expected for a
+// task still in flight: a lower bound on the true slowdown, replaced
+// by the completion EWMA once results arrive.
+func (e *estimator) observeLate(server proto.NodeID, expected, age time.Duration) {
+	if expected <= 0 {
+		expected = e.mean
+	}
+	if expected <= 0 {
+		return
+	}
+	ratio := float64(age) / float64(expected)
+	if ratio <= 1 {
+		return
+	}
+	if old, ok := e.factor[server]; !ok || ratio > old {
+		e.factor[server] = ratio
+	}
+}
+
+func (e *estimator) factorOf(server proto.NodeID) (float64, bool) {
+	f, ok := e.factor[server]
+	return f, ok
+}
+
+// best returns the smallest known slowdown factor (1 when none).
+func (e *estimator) best() float64 {
+	best := 0.0
+	for _, f := range e.factor {
+		if best == 0 || f < best {
+			best = f
+		}
+	}
+	if best == 0 {
+		return 1
+	}
+	return best
+}
+
+// ---------------------------------------------------------------------
+// Built-in policies
+// ---------------------------------------------------------------------
+
+// fcfs is the paper's strict arrival-order scheduling.
+type fcfs struct{}
+
+func (fcfs) Name() string                                { return "fcfs" }
+func (fcfs) Less(a, b *Task) bool                        { return false }
+func (fcfs) Admit(*Engine, proto.NodeID, time.Time) bool { return true }
+func (fcfs) Speculative() bool                           { return false }
+func (fcfs) WantsEstimates() bool                        { return false }
+
+// fastestFirst keeps FCFS order but matchmakes on the speed
+// estimates: a slow machine is only given work while the pending
+// queue is long enough that the rest of the pool could not drain it
+// before that machine would finish even one task. Slow machines thus
+// contribute early in a long batch but never capture the
+// makespan-critical tail.
+type fastestFirst struct{}
+
+func (fastestFirst) Name() string         { return "fastest-first" }
+func (fastestFirst) Less(a, b *Task) bool { return false }
+func (fastestFirst) Speculative() bool    { return false }
+func (fastestFirst) WantsEstimates() bool { return true }
+
+func (fastestFirst) Admit(e *Engine, server proto.NodeID, _ time.Time) bool {
+	f, ok := e.ServerFactor(server)
+	if !ok {
+		return true // unseen server: let it prove itself
+	}
+	if f <= e.cfg.FastFactor*e.est.best() {
+		return true // fast enough: always admitted
+	}
+	// While this f-times-slow machine executes one task, server i
+	// (slots_i concurrent slots, slowdown f_i) retires about
+	// slots_i x f/f_i tasks. Admit the slow machine only when the
+	// queue is longer than what the rest of the pool would drain in
+	// that time — otherwise the task it takes would outlive the batch.
+	drained := 0.0
+	for id, fi := range e.est.factor {
+		if id == server {
+			continue
+		}
+		slots := e.slots[id]
+		if slots < 1 {
+			slots = 1
+		}
+		drained += f * float64(slots) / fi
+	}
+	return float64(e.Len()) >= drained
+}
+
+// edf orders the queue earliest-deadline-first; calls without a
+// deadline queue FCFS behind every deadlined one.
+type edf struct{}
+
+func (edf) Name() string { return "deadline" }
+func (edf) Less(a, b *Task) bool {
+	switch {
+	case a.Deadline.IsZero() && b.Deadline.IsZero():
+		return false
+	case a.Deadline.IsZero():
+		return false
+	case b.Deadline.IsZero():
+		return true
+	default:
+		return a.Deadline.Before(b.Deadline)
+	}
+}
+func (edf) Admit(*Engine, proto.NodeID, time.Time) bool { return true }
+func (edf) Speculative() bool                           { return false }
+func (edf) WantsEstimates() bool                        { return false }
+
+// speculative keeps FCFS order and asks the coordinator to duplicate
+// straggling in-flight tasks onto different servers. It borrows
+// fastest-first's admission gate: now that cancellation frees a
+// straggler's slot immediately, handing that known-slow machine fresh
+// tail work would just create the next straggler to rescue.
+type speculative struct{ fastestFirst }
+
+func (speculative) Name() string      { return "speculative" }
+func (speculative) Speculative() bool { return true }

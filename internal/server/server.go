@@ -52,6 +52,12 @@ type Config struct {
 	// Default 1 (a desktop machine donating its idle CPU).
 	Parallelism int
 
+	// SpeedFactor scales the virtual execution time of timed tasks,
+	// modelling heterogeneous machine speeds in the desktop-grid
+	// population (2 = half speed, 10 = the straggler of the scheduling
+	// experiments). Default 1; values <= 0 mean 1.
+	SpeedFactor float64
+
 	// Services maps service names to implementations. Tasks with a
 	// positive ExecTime hint are synthetic: the server charges the
 	// virtual execution time, then produces ResultSize bytes (or calls
@@ -73,6 +79,9 @@ func (c *Config) applyDefaults() {
 	if c.Parallelism <= 0 {
 		c.Parallelism = 1
 	}
+	if c.SpeedFactor <= 0 {
+		c.SpeedFactor = 1
+	}
 }
 
 // Server is the worker node handler.
@@ -86,6 +95,13 @@ type Server struct {
 	beater    *detector.Beater
 
 	running map[proto.TaskID]bool
+	// started records when each running task began executing, so the
+	// uploaded result can report the measured execution duration.
+	started map[proto.TaskID]time.Time
+	// timers holds each timed execution's timer so a TaskCancel can
+	// abort it and free the slot immediately instead of letting the
+	// doomed execution occupy capacity to completion.
+	timers map[proto.TaskID]node.Timer
 	// backlog queues assignments received while at capacity (e.g. two
 	// heartbeat replies in flight both granted work); they run as
 	// capacity frees. Backlogged tasks count as alive for the sync
@@ -109,6 +125,7 @@ type Server struct {
 	executed  int
 	uploaded  int
 	dedup     int // assignments skipped because already running/done
+	discarded int // cancelled instances whose execution was thrown away
 	failovers int
 }
 
@@ -129,6 +146,8 @@ func (s *Server) Start(env node.Env) {
 	s.env = env
 	s.stopped = false
 	s.running = make(map[proto.TaskID]bool)
+	s.started = make(map[proto.TaskID]time.Time)
+	s.timers = make(map[proto.TaskID]node.Timer)
 	s.backlog = nil
 	s.unacked = make(map[proto.TaskID]*proto.TaskResult)
 	s.nextRetry = make(map[proto.TaskID]time.Time)
@@ -321,6 +340,8 @@ func (s *Server) Receive(from proto.NodeID, msg proto.Message) {
 		s.handleHeartbeatAck(from, m)
 	case *proto.TaskResultAck:
 		s.handleResultAck(from, m)
+	case *proto.TaskCancel:
+		s.handleCancel(from, m)
 	case *proto.ServerSyncReply:
 		s.handleSyncReply(from, m)
 	default:
@@ -349,6 +370,45 @@ func (s *Server) handleResultAck(from proto.NodeID, m *proto.TaskResultAck) {
 	// The coordinator holds the result durably: garbage-collect the
 	// local log entry (distributed GC of message logs).
 	s.env.Disk().Delete(s.resultKey(m.Task))
+}
+
+// handleCancel withdraws one task instance: the coordinator stored
+// another instance's result (a lost speculative race). Cancellation is
+// idempotent at every stage — a backlogged instance is dropped, a
+// running one is aborted and its slot freed immediately, a completed-
+// but-unacked one has its log entry garbage-collected, and an unknown
+// one is ignored.
+func (s *Server) handleCancel(from proto.NodeID, m *proto.TaskCancel) {
+	s.monitor.Observe(from)
+	for i := range s.backlog {
+		if s.backlog[i].Task == m.Task {
+			s.backlog = append(s.backlog[:i], s.backlog[i+1:]...)
+			s.discarded++
+			return
+		}
+	}
+	if s.running[m.Task] {
+		// Abort the execution: stop its timer (the completion never
+		// fires) and pull fresh work into the reclaimed slot.
+		if tm := s.timers[m.Task]; tm != nil {
+			tm.Stop()
+		}
+		delete(s.timers, m.Task)
+		delete(s.running, m.Task)
+		delete(s.started, m.Task)
+		s.discarded++
+		s.pullMoreWork()
+		return
+	}
+	if _, ok := s.unacked[m.Task]; ok {
+		// The coordinator holds another result durably; this copy will
+		// never be acked, so drop it like a TaskResultAck would.
+		delete(s.unacked, m.Task)
+		delete(s.nextRetry, m.Task)
+		delete(s.attempts, m.Task)
+		s.env.Disk().Delete(s.resultKey(m.Task))
+		s.discarded++
+	}
 }
 
 func (s *Server) handleSyncReply(from proto.NodeID, m *proto.ServerSyncReply) {
@@ -396,10 +456,14 @@ func (s *Server) startTask(t *proto.TaskAssignment) {
 		return
 	}
 	s.running[t.Task] = true
+	s.started[t.Task] = s.env.Now()
 	ta := *t // copy: the execution closure must not alias the ack buffer
 	if ta.ExecTime > 0 {
-		// Synthetic or timed service: charge virtual execution time.
-		s.env.After(ta.ExecTime, func() { s.completeTask(&ta) })
+		// Synthetic or timed service: charge virtual execution time,
+		// scaled by this machine's speed. The timer is retained so a
+		// TaskCancel can abort the execution mid-flight.
+		d := time.Duration(float64(ta.ExecTime) * s.cfg.SpeedFactor)
+		s.timers[t.Task] = s.env.After(d, func() { s.completeTask(&ta) })
 		return
 	}
 	s.completeTask(&ta)
@@ -436,13 +500,22 @@ func (s *Server) completeTask(t *proto.TaskAssignment) {
 	if s.stopped {
 		return
 	}
-	output, errStr := s.execute(t)
 	delete(s.running, t.Task)
+	delete(s.timers, t.Task)
+	output, errStr := s.execute(t)
+	// Measure execution only after the service body ran: real
+	// services execute synchronously right here, while timed tasks
+	// already charged their virtual duration through the timer.
+	var exec time.Duration
+	if at, ok := s.started[t.Task]; ok {
+		exec = s.env.Now().Sub(at)
+		delete(s.started, t.Task)
+	}
 	s.executed++
 	if s.cfg.OnTaskDone != nil {
 		s.cfg.OnTaskDone(t.Task, s.env.Now())
 	}
-	res := &proto.TaskResult{From: s.env.Self(), Task: t.Task, Output: output, Err: errStr}
+	res := &proto.TaskResult{From: s.env.Self(), Task: t.Task, Output: output, Err: errStr, Exec: exec}
 	if err := s.env.Disk().Write(s.resultKey(t.Task), proto.EncodeMessage(res)); err != nil {
 		s.env.Logf("server: log result %s: %v", t.Task, err)
 	}
@@ -450,9 +523,14 @@ func (s *Server) completeTask(t *proto.TaskAssignment) {
 	s.env.Send(s.preferred, res)
 	s.bumpRetry(t.Task, s.env.Now())
 	s.uploaded++
-	// Start backlogged work first; otherwise pull the next task
-	// immediately instead of idling until the next periodic heartbeat
-	// (XtremWeb workers issue a work request right after a result).
+	s.pullMoreWork()
+}
+
+// pullMoreWork starts backlogged work first; otherwise it pulls the
+// next task immediately instead of idling until the next periodic
+// heartbeat (XtremWeb workers issue a work request right after a
+// result).
+func (s *Server) pullMoreWork() {
 	for len(s.backlog) > 0 && len(s.running) < s.cfg.Parallelism {
 		next := s.backlog[0]
 		s.backlog = s.backlog[1:]
@@ -508,6 +586,7 @@ type Stats struct {
 	Running   int
 	Backlog   int
 	Dedup     int
+	Discarded int
 	Failovers int
 	Preferred proto.NodeID
 }
@@ -521,6 +600,7 @@ func (s *Server) StatsNow() Stats {
 		Running:   len(s.running),
 		Backlog:   len(s.backlog),
 		Dedup:     s.dedup,
+		Discarded: s.discarded,
 		Failovers: s.failovers,
 		Preferred: s.preferred,
 	}

@@ -292,3 +292,88 @@ func TestCoordinatorListMerge(t *testing.T) {
 		t.Fatal("coordinator list merge did not propagate co9")
 	}
 }
+
+// ---------------------------------------------------------------------
+// Task cancellation (speculative-execution loser withdrawal)
+// ---------------------------------------------------------------------
+
+func TestCancelDiscardsRunningExecution(t *testing.T) {
+	w, sv, fc := rig(t, Config{})
+	fc.grant = []proto.TaskAssignment{task(1, 1)} // 10 s synthetic task
+	w.RunFor(7 * time.Second)                     // assigned, mid-execution
+	if sv.StatsNow().Running != 1 {
+		t.Fatalf("running = %d, want 1", sv.StatsNow().Running)
+	}
+	w.Schedule(0, func() { sv.Receive("co", &proto.TaskCancel{Task: task(1, 1).Task}) })
+	w.RunFor(time.Minute)
+	st := sv.StatsNow()
+	if st.Executed != 0 || st.Uploaded != 0 || len(fc.results) != 0 {
+		t.Fatalf("cancelled execution still produced output: %+v", st)
+	}
+	if st.Discarded != 1 {
+		t.Fatalf("discarded = %d, want 1", st.Discarded)
+	}
+	// Idempotent: cancelling again (or for an unknown task) is a no-op.
+	w.Schedule(0, func() {
+		sv.Receive("co", &proto.TaskCancel{Task: task(1, 1).Task})
+		sv.Receive("co", &proto.TaskCancel{Task: task(9, 1).Task})
+	})
+	w.RunFor(time.Second)
+	if sv.StatsNow().Discarded != 1 {
+		t.Fatalf("cancel not idempotent: discarded = %d", sv.StatsNow().Discarded)
+	}
+}
+
+func TestCancelDropsBacklogEntry(t *testing.T) {
+	w, sv, _ := rig(t, Config{Parallelism: 1})
+	// Over-assign in one ack (two heartbeat replies racing would do the
+	// same): the second task lands in the backlog.
+	w.Schedule(0, func() {
+		sv.Receive("co", &proto.HeartbeatAck{From: "co",
+			Tasks: []proto.TaskAssignment{task(1, 1), task(2, 1)}})
+	})
+	w.RunFor(3 * time.Second) // 1 running, 1 backlogged
+	if sv.StatsNow().Backlog != 1 {
+		t.Fatalf("backlog = %d, want 1", sv.StatsNow().Backlog)
+	}
+	w.Schedule(0, func() { sv.Receive("co", &proto.TaskCancel{Task: task(2, 1).Task}) })
+	w.RunFor(2 * time.Minute)
+	st := sv.StatsNow()
+	if st.Executed != 1 {
+		t.Fatalf("executed = %d, want 1 (backlogged task cancelled)", st.Executed)
+	}
+	if st.Discarded != 1 {
+		t.Fatalf("discarded = %d, want 1", st.Discarded)
+	}
+}
+
+func TestCancelGarbageCollectsUnackedResult(t *testing.T) {
+	w, sv, fc := rig(t, Config{})
+	fc.ackAll = false
+	fc.grant = []proto.TaskAssignment{task(1, 1)}
+	w.RunFor(time.Minute) // executed, result parked in the unacked log
+	if sv.StatsNow().Unacked != 1 {
+		t.Fatalf("unacked = %d, want 1", sv.StatsNow().Unacked)
+	}
+	w.Schedule(0, func() { sv.Receive("co", &proto.TaskCancel{Task: task(1, 1).Task}) })
+	w.RunFor(time.Second)
+	if sv.StatsNow().Unacked != 0 {
+		t.Fatal("cancel did not drop the unacked result")
+	}
+	if w.Disk("sv").Len() != 0 {
+		t.Fatal("cancel did not garbage-collect the result log entry")
+	}
+}
+
+func TestSpeedFactorScalesExecution(t *testing.T) {
+	w, sv, fc := rig(t, Config{SpeedFactor: 10})
+	fc.grant = []proto.TaskAssignment{task(1, 1)} // 10 s nominal
+	w.RunFor(30 * time.Second)
+	if sv.StatsNow().Executed != 0 {
+		t.Fatal("10x-slow server finished a 10s task within 30s")
+	}
+	w.RunFor(2 * time.Minute)
+	if sv.StatsNow().Executed != 1 {
+		t.Fatalf("executed = %d, want 1 after ~100s", sv.StatsNow().Executed)
+	}
+}
