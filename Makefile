@@ -5,10 +5,12 @@
 #   make smoke      1-iteration benchmark smoke (fast CI signal)
 #   make shard      print the shard-scaling table (quick sweep)
 #   make sched      print the scheduling-policy + work-stealing tables
+#   make transport  print the pooled-vs-legacy transport table
+#   make race       race-detect the real runtime (transport goroutines)
 
 GO ?= go
 
-.PHONY: all vet build test bench smoke shard sched ci
+.PHONY: all vet build test bench smoke shard sched transport race ci
 
 all: vet build test
 
@@ -21,11 +23,14 @@ build:
 test:
 	$(GO) test ./...
 
+race:
+	$(GO) test -race ./internal/rt/...
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
 smoke:
-	$(GO) test -short -run '^$$' -bench 'BenchmarkFig4MessageLogging|BenchmarkShardScale' -benchtime 1x .
+	$(GO) test -short -run '^$$' -bench 'BenchmarkFig4MessageLogging|BenchmarkShardScale|BenchmarkTransportCompare' -benchtime 1x .
 
 shard:
 	$(GO) run ./cmd/rpcv-bench -fig shard-scale -quick
@@ -33,4 +38,7 @@ shard:
 sched:
 	$(GO) run ./cmd/rpcv-bench -fig sched-compare -quick
 
-ci: vet build test smoke
+transport:
+	$(GO) run ./cmd/rpcv-bench -fig transport-compare -quick
+
+ci: vet build test race smoke

@@ -15,6 +15,7 @@ package rpcv
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -243,6 +244,29 @@ func BenchmarkSchedCompare(b *testing.B) {
 	steal := res.Tables[1]
 	b.ReportMetric(cellDur(b, steal, 0, 1)/1000, "s-steal-off")
 	b.ReportMetric(cellDur(b, steal, 1, 1)/1000, "s-steal-on")
+}
+
+// BenchmarkTransportCompare runs the transport experiment on real
+// loopback TCP: the pooled persistent-connection transport vs the
+// paper's connection-per-message transport, both under a Poisson
+// server kill/restart load. Reported metrics: sustained submit
+// throughput (acks/s) and p99 submit latency (ms) per transport — the
+// pooled numbers must dominate.
+func BenchmarkTransportCompare(b *testing.B) {
+	var res experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.TransportCompare(opts())
+	}
+	t := res.Tables[0]
+	for row := 0; row < t.Rows(); row++ {
+		name := t.Cell(row, 0)
+		tp, err := strconv.ParseFloat(t.Cell(row, 1), 64)
+		if err != nil {
+			b.Fatalf("bad throughput cell %q: %v", t.Cell(row, 1), err)
+		}
+		b.ReportMetric(tp, "submits/s-"+name)
+		b.ReportMetric(cellDur(b, t, row, 3), "ms-p99-"+name)
+	}
 }
 
 // BenchmarkSubmissionThroughput is a micro-benchmark of the simulated

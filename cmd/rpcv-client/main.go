@@ -38,6 +38,7 @@ func main() {
 	wait := flag.Duration("wait", 5*time.Minute, "overall deadline")
 	shardMap := flag.String("shardmap", "", "consistent-hash shard topology (same syntax as rpcv-coordinator); empty: unsharded")
 	shardVersion := flag.Uint64("shardversion", 1, "cached shard map version")
+	legacyTransport := flag.Bool("legacy-transport", false, "use the paper's connection-per-message transport instead of pooled connections")
 	flag.Parse()
 
 	dirMap, _, err := shared.ParseDirectory(*coords)
@@ -71,13 +72,14 @@ func main() {
 	}
 
 	sess, err := gridrpc.Dial(gridrpc.Config{
-		User:         *user,
-		Session:      *session,
-		Coordinators: coordAddrs,
-		ListenAddr:   *listen,
-		DiskDir:      *disk,
-		Logging:      strat,
-		Shard:        smap,
+		User:            *user,
+		Session:         *session,
+		Coordinators:    coordAddrs,
+		ListenAddr:      *listen,
+		DiskDir:         *disk,
+		Logging:         strat,
+		Shard:           smap,
+		LegacyTransport: *legacyTransport,
 	})
 	if err != nil {
 		log.Fatalf("rpcv-client: %v", err)

@@ -47,6 +47,10 @@ func main() {
 	policy := flag.String("policy", "fcfs", "scheduling policy: "+strings.Join(sched.Policies(), ", "))
 	speculate := flag.Float64("speculate", 0, "speculative policy's straggler threshold factor k (0: default)")
 	steal := flag.Bool("steal", false, "enable cross-shard work stealing (sharded deployments)")
+	legacyTransport := flag.Bool("legacy-transport", false, "use the paper's connection-per-message transport instead of pooled connections")
+	queueDepth := flag.Int("send-queue", 0, "pooled transport per-peer send queue depth (0: default 128)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "pooled transport connection idle timeout (0: default 30s)")
+	maxInbound := flag.Int("max-inbound", 0, "max concurrent inbound connections before shedding (0: default 256)")
 	flag.Parse()
 
 	if _, err := sched.New(sched.Config{Policy: *policy}); err != nil {
@@ -111,11 +115,15 @@ func main() {
 	})
 
 	rtm, err := rt.Start(rt.Config{
-		ID:         proto.NodeID(*id),
-		ListenAddr: *listen,
-		Directory:  dir,
-		DiskDir:    *disk,
-		Handler:    co,
+		ID:              proto.NodeID(*id),
+		ListenAddr:      *listen,
+		Directory:       dir,
+		DiskDir:         *disk,
+		Handler:         co,
+		LegacyTransport: *legacyTransport,
+		QueueDepth:      *queueDepth,
+		IdleTimeout:     *idleTimeout,
+		MaxInboundConns: *maxInbound,
 	})
 	if err != nil {
 		log.Fatalf("rpcv-coordinator: %v", err)

@@ -37,6 +37,10 @@ func main() {
 	parallel := flag.Int("parallel", 1, "concurrent task capacity")
 	heartbeat := flag.Duration("heartbeat", 5*time.Second, "heartbeat period")
 	timeout := flag.Duration("timeout", 30*time.Second, "coordinator suspicion timeout")
+	legacyTransport := flag.Bool("legacy-transport", false, "use the paper's connection-per-message transport instead of pooled connections")
+	queueDepth := flag.Int("send-queue", 0, "pooled transport per-peer send queue depth (0: default 128)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "pooled transport connection idle timeout (0: default 30s)")
+	maxInbound := flag.Int("max-inbound", 0, "max concurrent inbound connections before shedding (0: default 256)")
 	flag.Parse()
 
 	dir, coordIDs, err := shared.ParseDirectory(*coords)
@@ -56,11 +60,15 @@ func main() {
 	})
 
 	rtm, err := rt.Start(rt.Config{
-		ID:         proto.NodeID(*id),
-		ListenAddr: *listen,
-		Directory:  dir,
-		DiskDir:    *disk,
-		Handler:    sv,
+		ID:              proto.NodeID(*id),
+		ListenAddr:      *listen,
+		Directory:       dir,
+		DiskDir:         *disk,
+		Handler:         sv,
+		LegacyTransport: *legacyTransport,
+		QueueDepth:      *queueDepth,
+		IdleTimeout:     *idleTimeout,
+		MaxInboundConns: *maxInbound,
 	})
 	if err != nil {
 		log.Fatalf("rpcv-server: %v", err)

@@ -32,6 +32,20 @@
 // through cmd/rpcv-coordinator's -policy, -speculate and -steal flags;
 // measured by the sched-compare experiment.
 //
+// internal/rt's transport pools connections beyond the paper's
+// connection-per-message model: one long-lived connection per peer
+// owned by a sender goroutine, a bounded send queue with drop-oldest
+// overflow, coalesced flushes, jittered redial backoff, an idle
+// timeout that returns quiet peers to connection-less behaviour, and
+// accept-side shedding (MaxInboundConns) against fd exhaustion. The
+// paper's fault semantics are untouched — sends never block or fail
+// loudly, and connection breaks are never fault signals; heartbeat
+// timeouts remain the only suspicion source. The -legacy-transport
+// flag (rt.Config.LegacyTransport) restores one-message-per-connection
+// wire behaviour, which stays compatible: the read side decodes a gob
+// envelope stream until EOF. Measured by the transport-compare
+// experiment under a Poisson server kill/restart load.
+//
 // See README.md for the package tour and the shard/sched subsystem
 // overviews. The benchmarks in bench_test.go regenerate each figure;
 // cmd/rpcv-bench prints them as tables.

@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"rpcv/internal/client"
+	"rpcv/internal/coordinator"
+	"rpcv/internal/db"
+	"rpcv/internal/metrics"
+	"rpcv/internal/msglog"
+	"rpcv/internal/node"
+	"rpcv/internal/proto"
+	"rpcv/internal/rt"
+	"rpcv/internal/server"
+)
+
+// TransportCompare races the real TCP runtime's two transports on
+// loopback: the paper's connection-per-message transport (every send
+// dials, writes one envelope with a fresh gob type-descriptor
+// handshake, and closes) against the pooled persistent-connection
+// transport (per-peer sender, coalesced flushes, redial with backoff).
+//
+// Unlike every other experiment this one runs on the wall clock and
+// real sockets — the transport is exactly what the simulator
+// abstracts away. A miniature grid (1 coordinator, 4 servers, 2
+// clients) sustains a fixed in-flight submission window while a
+// figure-7-style fault load (Poisson kill/restart of each server,
+// population constant) churns connections underneath. Axes: sustained
+// submit throughput (acknowledgements per second) and submit latency
+// quantiles; the acked column proves zero delivery regressions
+// (heartbeat-timeout fault detection, not connection breaks, still
+// drives all recovery on both transports).
+func TransportCompare(opts Options) Result {
+	opts.applyDefaults()
+	calls := 600
+	if opts.Quick {
+		calls = 240
+	}
+	table := metrics.NewTable(
+		"Transport comparison: sustained submission under Poisson server kill/restart (1 coordinator, 4 servers, 2 clients, real TCP loopback)",
+		"transport", "submits/s", "p50-submit", "p99-submit", "acked", "coalescing", "sheds")
+	for _, legacy := range []bool{true, false} {
+		name := "pooled"
+		if legacy {
+			name = "per-message"
+		}
+		r := transportRun(opts.Seed, legacy, calls)
+		table.AddRow(name, r.throughput, r.lat.P50(), r.lat.P99(),
+			r.acked, fmt.Sprintf("%.1fx", r.coalescing), r.sheds)
+	}
+	return Result{Name: "transport-compare", Tables: []*metrics.Table{table}}
+}
+
+// transportRunResult carries one transport's measurements.
+type transportRunResult struct {
+	throughput float64 // submit acks per second over the sustained window
+	lat        metrics.Histogram
+	acked      int
+	coalescing float64 // envelopes per connection flush, all runtimes
+	sheds      uint64
+}
+
+// transportRun drives one full grid run on the chosen transport.
+func transportRun(seed int64, legacy bool, calls int) transportRunResult {
+	const (
+		nClients = 2
+		nServers = 4
+		inflight = 8 // per-client sustained submission window
+		beat     = 25 * time.Millisecond
+		suspect  = 250 * time.Millisecond
+		mtbf     = 1500 * time.Millisecond // per-server Poisson faults
+		downtime = 150 * time.Millisecond
+	)
+	quiet := func(string, ...any) {}
+	rtCfg := func(id proto.NodeID, h node.Handler, dir rt.Directory) rt.Config {
+		return rt.Config{ID: id, ListenAddr: "127.0.0.1:0", Handler: h,
+			Directory: dir, Logf: quiet, LegacyTransport: legacy}
+	}
+
+	co := coordinator.New(coordinator.Config{
+		Coordinators:     []proto.NodeID{"co"},
+		HeartbeatPeriod:  beat,
+		HeartbeatTimeout: suspect,
+		DBCost:           db.CostModel{PerOp: 50 * time.Microsecond},
+	})
+	rco, err := rt.Start(rtCfg("co", co, nil))
+	if err != nil {
+		panic(fmt.Sprintf("transport-compare: coordinator: %v", err))
+	}
+	dir := rt.Directory{"co": rco.Addr()}
+
+	services := map[string]server.Service{
+		"noop": func([]byte) ([]byte, error) { return nil, nil },
+	}
+	newServer := func() node.Handler {
+		return server.New(server.Config{
+			Coordinators:     []proto.NodeID{"co"},
+			HeartbeatPeriod:  beat,
+			SuspicionTimeout: suspect,
+			Services:         services,
+		})
+	}
+	type serverSlot struct {
+		mu  sync.Mutex
+		rtm *rt.Runtime
+	}
+	servers := make([]*serverSlot, nServers)
+	for i := range servers {
+		id := proto.NodeID(fmt.Sprintf("sv%d", i))
+		rsv, err := rt.Start(rtCfg(id, newServer(), dir))
+		if err != nil {
+			panic(fmt.Sprintf("transport-compare: server: %v", err))
+		}
+		rco.SetPeer(id, rsv.Addr())
+		servers[i] = &serverSlot{rtm: rsv}
+	}
+
+	var (
+		res     transportRunResult
+		measMu  sync.Mutex
+		acked   int
+		lastAck time.Time
+		done    = make(chan struct{})
+		once    sync.Once
+	)
+	perClient := calls / nClients
+	target := perClient * nClients
+	start := time.Now()
+
+	rclis := make([]*rt.Runtime, nClients)
+	for i := 0; i < nClients; i++ {
+		// submitted is confined to this client's event loop: the
+		// kickoff Do and OnSubmitComplete both run there.
+		submitted := 0
+		var cli *client.Client
+		cli = client.New(client.Config{
+			User:             proto.UserID(fmt.Sprintf("u%d", i)),
+			Session:          proto.SessionID(i + 1),
+			Coordinators:     []proto.NodeID{"co"},
+			PollPeriod:       beat,
+			SuspicionTimeout: suspect,
+			Logging:          msglog.NonBlockingPessimistic,
+			Disk:             msglog.InstantDisk(),
+			OnSubmitComplete: func(_ proto.RPCSeq, issued, completed time.Time) {
+				measMu.Lock()
+				res.lat.Add(completed.Sub(issued))
+				acked++
+				lastAck = completed
+				fin := acked >= target
+				measMu.Unlock()
+				if fin {
+					once.Do(func() { close(done) })
+				}
+				// Keep the submission window full until this client's
+				// share is issued: sustained load, not one burst.
+				if submitted < perClient {
+					submitted++
+					cli.Submit("noop", nil, 0, 0)
+				}
+			},
+		})
+		id := proto.NodeID(fmt.Sprintf("cli%d", i))
+		rcli, err := rt.Start(rtCfg(id, cli, dir))
+		if err != nil {
+			panic(fmt.Sprintf("transport-compare: client: %v", err))
+		}
+		rco.SetPeer(id, rcli.Addr())
+		rclis[i] = rcli
+		rcli.Do(func() {
+			for j := 0; j < inflight && submitted < perClient; j++ {
+				submitted++
+				cli.Submit("noop", nil, 0, 0)
+			}
+		})
+	}
+
+	// The fault load: each server dies at Poisson times and restarts
+	// after a fixed downtime on a fresh port (the coordinator learns
+	// the new address, as it would from a reconnecting peer).
+	stop := make(chan struct{})
+	var faultWG sync.WaitGroup
+	for i := range servers {
+		faultWG.Add(1)
+		go func(i int) {
+			defer faultWG.Done()
+			rng := rand.New(rand.NewSource(seed + int64(i)*7919))
+			id := proto.NodeID(fmt.Sprintf("sv%d", i))
+			sl := servers[i]
+			for {
+				wait := time.Duration(-math.Log(1-rng.Float64()) * float64(mtbf))
+				select {
+				case <-stop:
+					return
+				case <-time.After(wait):
+				}
+				sl.mu.Lock()
+				sl.rtm.Close()
+				sl.rtm = nil
+				sl.mu.Unlock()
+				select {
+				case <-stop:
+				case <-time.After(downtime):
+				}
+				rsv, err := rt.Start(rtCfg(id, newServer(), dir))
+				if err != nil {
+					return
+				}
+				rco.SetPeer(id, rsv.Addr())
+				sl.mu.Lock()
+				sl.rtm = rsv
+				sl.mu.Unlock()
+			}
+		}(i)
+	}
+
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		// Watchdog: report whatever completed instead of hanging CI.
+	}
+	close(stop)
+	faultWG.Wait()
+
+	measMu.Lock()
+	res.acked = acked
+	if acked > 0 && lastAck.After(start) {
+		res.throughput = float64(acked) / lastAck.Sub(start).Seconds()
+	}
+	measMu.Unlock()
+
+	var sent, flushes uint64
+	collect := func(r *rt.Runtime) {
+		st := r.TransportStats()
+		sent += st.Sent
+		flushes += st.Flushes
+	}
+	for _, rcli := range rclis {
+		collect(rcli)
+		rcli.Close()
+	}
+	collect(rco)
+	res.sheds = rco.TransportStats().Sheds
+	rco.Close()
+	for _, sl := range servers {
+		sl.mu.Lock()
+		if sl.rtm != nil {
+			collect(sl.rtm)
+			sl.rtm.Close()
+		}
+		sl.mu.Unlock()
+	}
+	if flushes > 0 {
+		res.coalescing = float64(sent) / float64(flushes)
+	}
+	return res
+}

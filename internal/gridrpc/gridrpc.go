@@ -27,9 +27,12 @@ package gridrpc
 
 import (
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rpcv/internal/client"
@@ -44,9 +47,10 @@ type Config struct {
 	// User identifies the grid user (certificate subject in a full
 	// deployment). Default "anonymous".
 	User string
-	// Session is the session unique ID; 0 derives one from the clock.
-	// A relaunched client instance passes the previous value to
-	// retrieve results by (user, session, rpc) IDs.
+	// Session is the session unique ID; 0 derives a fresh one from
+	// crypto/rand entropy (collision-free even for sessions created in
+	// the same clock instant). A relaunched client instance passes the
+	// previous value to retrieve results by (user, session, rpc) IDs.
 	Session uint64
 	// Coordinators maps coordinator IDs to TCP addresses — the finite
 	// list of known coordinators.
@@ -67,6 +71,10 @@ type Config struct {
 	SuspicionTimeout time.Duration
 	// Logf receives trace output; nil silences it.
 	Logf func(format string, args ...any)
+	// LegacyTransport reverts the session's runtime to the paper's
+	// connection-per-message transport (see rt.Config.LegacyTransport)
+	// — the escape hatch when talking to pre-pooling binaries.
+	LegacyTransport bool
 	// Shard is the cached consistent-hash shard map of a sharded
 	// deployment (nil: unsharded). The session routes to its owner ring
 	// and follows redirects carrying newer maps automatically.
@@ -98,6 +106,32 @@ type Session struct {
 	closed  bool
 }
 
+// sessionFallback disambiguates clock-derived session IDs when the
+// entropy source is unavailable.
+var sessionFallback atomic.Uint64
+
+// newSessionID derives a fresh session unique ID. The clock alone is
+// not enough: two sessions created in the same instant — easy with
+// concurrent Dials, guaranteed on platforms with coarse clocks — would
+// share a session ID and interleave their (user, session, rpc)
+// CallIDs, corrupting both clients' result retrieval. Entropy from
+// crypto/rand makes uniqueness independent of clock resolution.
+func newSessionID() uint64 {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err == nil {
+		if id := binary.BigEndian.Uint64(b[:]); id != 0 {
+			return id
+		}
+	}
+	// Entropy unavailable (or the astronomically unlikely zero draw):
+	// fall back to the clock mixed with a process-unique counter.
+	id := uint64(time.Now().UnixNano()) + sessionFallback.Add(1)
+	if id == 0 {
+		id = 1 // zero means "derive one" in Config
+	}
+	return id
+}
+
 // Dial connects a new session to the grid (grpc_initialize).
 func Dial(cfg Config) (*Session, error) {
 	if len(cfg.Coordinators) == 0 {
@@ -107,7 +141,7 @@ func Dial(cfg Config) (*Session, error) {
 		cfg.User = "anonymous"
 	}
 	if cfg.Session == 0 {
-		cfg.Session = uint64(time.Now().UnixNano())
+		cfg.Session = newSessionID()
 	}
 	if cfg.ListenAddr == "" {
 		cfg.ListenAddr = "127.0.0.1:0"
@@ -143,12 +177,13 @@ func Dial(cfg Config) (*Session, error) {
 
 	id := proto.NodeID(fmt.Sprintf("client-%s-%d", cfg.User, cfg.Session))
 	rtm, err := rt.Start(rt.Config{
-		ID:         id,
-		ListenAddr: cfg.ListenAddr,
-		Directory:  dir,
-		DiskDir:    cfg.DiskDir,
-		Handler:    s.cli,
-		Logf:       logf,
+		ID:              id,
+		ListenAddr:      cfg.ListenAddr,
+		Directory:       dir,
+		DiskDir:         cfg.DiskDir,
+		Handler:         s.cli,
+		Logf:            logf,
+		LegacyTransport: cfg.LegacyTransport,
 	})
 	if err != nil {
 		return nil, err

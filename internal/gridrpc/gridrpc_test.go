@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -182,4 +183,37 @@ func gridWithRegistrar(t *testing.T, n int, services map[string]server.Service) 
 		rco.SetPeer(proto.NodeID(fmt.Sprintf("client-%s-%d", s.cfg.User, s.cfg.Session)), s.Addr())
 	}
 	return map[string]string{"co": rco.Addr()}, register
+}
+
+// TestSessionIDCollisionRegression guards the session unique ID
+// source. It used to be time.Now().UnixNano() verbatim, so two
+// sessions dialled in the same instant — trivial with concurrent
+// clients, guaranteed on coarse-clock platforms — collided and
+// interleaved their (user, session, rpc) CallIDs. With entropy mixed
+// in, a large concurrent batch must contain no duplicates.
+func TestSessionIDCollisionRegression(t *testing.T) {
+	const goroutines, per = 8, 2000
+	ids := make(chan uint64, goroutines*per)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ids <- newSessionID()
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := make(map[uint64]bool, goroutines*per)
+	for id := range ids {
+		if id == 0 {
+			t.Fatal("session ID 0 is reserved for 'derive one'")
+		}
+		if seen[id] {
+			t.Fatalf("session ID collision: %d", id)
+		}
+		seen[id] = true
+	}
 }

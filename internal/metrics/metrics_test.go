@@ -256,3 +256,81 @@ func TestHistogramSubMicrosecond(t *testing.T) {
 		t.Fatalf("sub-us handling: n=%d max=%v", h.N(), h.Max())
 	}
 }
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	var h Histogram
+	// Every quantile of an empty histogram — including out-of-range
+	// inputs — is zero, never a panic or a bucket midpoint.
+	for _, q := range []float64{-1, 0, 0.25, 0.5, 0.99, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	// Merging empty into empty stays empty.
+	var other Histogram
+	h.Merge(&other)
+	if h.N() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Errorf("empty+empty merge not empty: %s", h.String())
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	const v = 7 * time.Millisecond
+	h.Add(v)
+	if h.N() != 1 || h.Mean() != v || h.Max() != v {
+		t.Fatalf("single sample: n=%d mean=%v max=%v", h.N(), h.Mean(), h.Max())
+	}
+	// With one observation every quantile is that observation exactly:
+	// the min/max clamp must hide the bucket midpoint's ~9% error.
+	for _, q := range []float64{-1, 0, 0.5, 0.95, 0.99, 1, 2} {
+		if got := h.Quantile(q); got != v {
+			t.Errorf("Quantile(%v) = %v, want exactly %v", q, got, v)
+		}
+	}
+}
+
+func TestHistogramMergeDisjointRanges(t *testing.T) {
+	// a occupies low buckets only, b high buckets only, so their count
+	// slices have very different lengths; merge must work in both
+	// directions (growing the receiver, and folding a shorter donor).
+	lo, hi := 10*time.Microsecond, 10*time.Second
+	build := func(v time.Duration, n int) *Histogram {
+		var h Histogram
+		for i := 0; i < n; i++ {
+			h.Add(v)
+		}
+		return &h
+	}
+
+	a := build(lo, 100)
+	a.Merge(build(hi, 100)) // longer donor grows the receiver
+	if a.N() != 200 {
+		t.Fatalf("merged n = %d", a.N())
+	}
+	if a.Quantile(0) != lo || a.Max() != hi {
+		t.Fatalf("merged extremes: min=%v max=%v", a.Quantile(0), a.Max())
+	}
+	// Half the mass sits in each disjoint range: the median must come
+	// from one of the two occupied ranges, not the empty gap between.
+	med := a.P50()
+	if med > 2*lo && med < hi/2 {
+		t.Fatalf("median %v landed in the empty gap", med)
+	}
+	if p99 := a.P99(); p99 < hi/2 {
+		t.Fatalf("p99 = %v, upper range invisible", p99)
+	}
+
+	b := build(hi, 100)
+	b.Merge(build(lo, 100)) // shorter donor into longer receiver
+	if b.N() != 200 || b.Quantile(0) != lo || b.Max() != hi {
+		t.Fatalf("reverse merge: n=%d min=%v max=%v", b.N(), b.Quantile(0), b.Max())
+	}
+
+	// Merging into a zero-value histogram adopts the donor wholesale.
+	var empty Histogram
+	empty.Merge(build(hi, 3))
+	if empty.N() != 3 || empty.Quantile(0) != hi || empty.Max() != hi {
+		t.Fatalf("merge into empty: n=%d min=%v max=%v", empty.N(), empty.Quantile(0), empty.Max())
+	}
+}

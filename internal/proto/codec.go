@@ -6,8 +6,18 @@ import (
 	"fmt"
 )
 
+// Wire framing of the real TCP transport: a connection carries a gob
+// stream of envelopes (sender node ID + one registered Message each),
+// and the receiver decodes envelopes until EOF — length-of-stream
+// framing, no count or length prefix. The pooled transport keeps a
+// connection open and appends envelopes (gob transmits each concrete
+// type's descriptor once per stream); the legacy connection-per-message
+// transport emits the shortest valid stream, exactly one envelope,
+// then closes. Both framings are therefore read by one code path and
+// no message kinds differ between them.
+//
 // init registers every concrete message type so that gob can move them
-// through the real TCP transport's Envelope (whose payload is a
+// through the real TCP transport's envelope (whose payload is a
 // Message interface value).
 func init() {
 	gob.Register(&Submit{})

@@ -3,10 +3,19 @@
 // real machine, with TCP sockets, the wall clock and a file-backed
 // disk. The cmd/ daemons and the quickstart example are built on it.
 //
-// Communication is connection-less exactly as the paper prescribes: for
-// any interaction, a connection is opened, one message is written, and
-// the connection is closed immediately. Connection breaks are therefore
-// never used as fault signals — only heartbeat timeouts are.
+// The default transport pools connections (see transport.go): each
+// peer gets one long-lived connection owned by a sender goroutine with
+// a bounded send queue, and queued envelopes are coalesced into a
+// single flush. Semantically it is still the paper's best-effort,
+// connection-less channel: sends never block, overflow and broken
+// connections silently drop messages, and connection breaks are never
+// used as fault signals — only heartbeat timeouts are. A quiet peer's
+// connection closes after Config.IdleTimeout, returning it to the
+// paper's "open, write one message, close" behaviour, which
+// Config.LegacyTransport restores entirely. Both transports
+// interoperate on the wire: the read side decodes a stream of
+// envelopes until EOF, and a single-envelope stream is simply the
+// shortest case.
 //
 // Each runtime runs its handler on a single event loop goroutine, so
 // handlers keep the no-locking discipline they have under the
@@ -17,6 +26,7 @@ import (
 	"encoding/gob"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"net"
@@ -25,6 +35,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rpcv/internal/node"
@@ -57,6 +68,33 @@ type Config struct {
 	Logf func(format string, args ...any)
 	// DialTimeout bounds connection attempts. Default 2 s.
 	DialTimeout time.Duration
+	// LegacyTransport reverts to the paper's literal connection-per-
+	// message behaviour: every send dials, writes one envelope and
+	// closes. The escape hatch for mixed deployments whose pre-pooling
+	// binaries stop reading after the first envelope of a connection.
+	LegacyTransport bool
+	// QueueDepth bounds each peer's send queue on the pooled
+	// transport. When full, the oldest queued envelope is dropped —
+	// best-effort semantics, indistinguishable from network loss.
+	// Default 128.
+	QueueDepth int
+	// IdleTimeout closes a pooled connection with no outbound traffic
+	// and retires its sender goroutine; the next send re-establishes
+	// both. The read side grants inbound connections its own
+	// IdleTimeout plus 30 s of quiet, so keep the knob consistent
+	// across a deployment: a receiver with a shorter IdleTimeout than
+	// its senders cuts their pooled connections first, and the first
+	// flush after each quiet gap may be lost (recovered, as any loss,
+	// by heartbeats and resends). Default 30 s.
+	IdleTimeout time.Duration
+	// MaxInboundConns caps concurrent inbound connections; beyond it,
+	// new connections are shed (accepted, immediately closed, counted
+	// in TransportStats.Sheds) so a slow or malicious peer cannot
+	// exhaust file descriptors. Size it above the steady peer
+	// population: a shed connection loses whatever it carried, and if
+	// active peers outnumber the cap for long, lost heartbeats turn
+	// into false fault suspicions. Default 256.
+	MaxInboundConns int
 }
 
 // envelope frames one message on the wire.
@@ -74,7 +112,14 @@ type Runtime struct {
 
 	mu     sync.Mutex
 	dir    Directory
+	conns  map[net.Conn]struct{}
 	closed bool
+
+	sendMu  sync.Mutex
+	senders map[proto.NodeID]*sender
+
+	inbound atomic.Int64
+	stats   transportCounters
 
 	mailbox chan func()
 	quit    chan struct{}
@@ -92,6 +137,15 @@ func Start(cfg Config) (*Runtime, error) {
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 2 * time.Second
 	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = defaultQueueDepth
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = defaultIdleTimeout
+	}
+	if cfg.MaxInboundConns <= 0 {
+		cfg.MaxInboundConns = defaultMaxInboundConns
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
@@ -107,6 +161,8 @@ func Start(cfg Config) (*Runtime, error) {
 		cfg:     cfg,
 		rng:     rand.New(rand.NewSource(seed)),
 		dir:     make(Directory, len(cfg.Directory)),
+		conns:   make(map[net.Conn]struct{}),
+		senders: make(map[proto.NodeID]*sender),
 		mailbox: make(chan func(), 1024),
 		quit:    make(chan struct{}),
 	}
@@ -198,7 +254,38 @@ func (r *Runtime) Close() {
 	if r.ln != nil {
 		r.ln.Close()
 	}
+	// Closing live connections interrupts blocked reads and writes so
+	// no goroutine lingers until a network deadline expires.
+	r.mu.Lock()
+	conns := make([]net.Conn, 0, len(r.conns))
+	for c := range r.conns {
+		conns = append(conns, c)
+	}
+	r.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
 	r.wg.Wait()
+}
+
+// track registers a live connection so Close can interrupt its blocked
+// reads and writes; it refuses (and closes) connections arriving
+// during shutdown.
+func (r *Runtime) track(conn net.Conn) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		conn.Close()
+		return false
+	}
+	r.conns[conn] = struct{}{}
+	return true
+}
+
+func (r *Runtime) untrack(conn net.Conn) {
+	r.mu.Lock()
+	delete(r.conns, conn)
+	r.mu.Unlock()
 }
 
 func (r *Runtime) eventLoop() {
@@ -234,47 +321,115 @@ func (r *Runtime) acceptLoop() {
 			r.cfg.Logf("rt(%s): accept: %v", r.cfg.ID, err)
 			continue
 		}
+		if n := r.inbound.Add(1); n > int64(r.cfg.MaxInboundConns) {
+			// Accept-side shedding: beyond the cap a connection is
+			// closed on the spot, costing the peer a reconnect instead
+			// of costing this node a file descriptor for up to a read
+			// deadline. The break itself is harmless (never a fault
+			// signal), but a shed connection carried undelivered
+			// messages — under sustained overload that includes
+			// heartbeats, which IS how faults are suspected. The cap
+			// must therefore exceed the steady peer population (see
+			// Config.MaxInboundConns); the Sheds counter is the
+			// operator's signal that it does not.
+			r.inbound.Add(-1)
+			r.stats.sheds.Add(1)
+			conn.Close()
+			continue
+		}
+		if !r.track(conn) {
+			r.inbound.Add(-1)
+			return
+		}
+		r.wg.Add(1)
 		go r.handleConn(conn)
 	}
 }
 
+// handleConn drains one inbound connection: a gob stream of envelopes,
+// decoded until EOF (length-of-stream framing). The legacy connection-
+// per-message transport produces the degenerate one-envelope stream,
+// so both transports share this read path.
 func (r *Runtime) handleConn(conn net.Conn) {
+	defer r.wg.Done()
+	defer r.inbound.Add(-1)
+	defer r.untrack(conn)
 	defer conn.Close()
-	_ = conn.SetReadDeadline(time.Now().Add(time.Minute))
-	var env envelope
-	if err := gob.NewDecoder(conn).Decode(&env); err != nil {
-		r.cfg.Logf("rt(%s): decode: %v", r.cfg.ID, err)
-		return
+	dec := gob.NewDecoder(conn)
+	for {
+		// The deadline outlives the sender's idle timeout so the
+		// sender, not the receiver, decides when a quiet connection
+		// dies.
+		_ = conn.SetReadDeadline(time.Now().Add(r.cfg.IdleTimeout + 30*time.Second))
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			if err != io.EOF {
+				r.cfg.Logf("rt(%s): decode: %v", r.cfg.ID, err)
+			}
+			return
+		}
+		if env.Msg == nil {
+			continue
+		}
+		r.DoAsync(func() { r.cfg.Handler.Receive(env.From, env.Msg) })
 	}
-	if env.Msg == nil {
-		return
-	}
-	r.DoAsync(func() { r.cfg.Handler.Receive(env.From, env.Msg) })
 }
 
-// send dials the peer, writes one envelope and closes. Failures are
-// silent (best-effort network): the protocol's heartbeats and resends
-// own all recovery.
-func (r *Runtime) send(to proto.NodeID, msg proto.Message) {
+// lookup resolves a peer's current address.
+func (r *Runtime) lookup(to proto.NodeID) (string, bool) {
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	addr, ok := r.dir[to]
-	r.mu.Unlock()
-	if !ok {
+	return addr, ok
+}
+
+// send hands msg to the peer's transport. On the pooled transport
+// (default) it enqueues on the peer's sender: never blocking, dropping
+// the oldest queued envelope on overflow. With LegacyTransport it
+// keeps the paper's literal behaviour: one goroutine dials, writes one
+// envelope and closes. Failures are silent either way (best-effort
+// network): the protocol's heartbeats and resends own all recovery.
+func (r *Runtime) send(to proto.NodeID, msg proto.Message) {
+	if _, ok := r.lookup(to); !ok {
 		r.cfg.Logf("rt(%s): no address for %s, dropping %s", r.cfg.ID, to, msg.Kind())
 		return
 	}
-	go func() {
-		conn, err := net.DialTimeout("tcp", addr, r.cfg.DialTimeout)
-		if err != nil {
-			return // unreachable peers are a normal event
-		}
-		defer conn.Close()
-		_ = conn.SetWriteDeadline(time.Now().Add(time.Minute))
-		env := envelope{From: r.cfg.ID, Msg: msg}
-		if err := gob.NewEncoder(conn).Encode(&env); err != nil {
-			r.cfg.Logf("rt(%s): send %s to %s: %v", r.cfg.ID, msg.Kind(), to, err)
-		}
-	}()
+	if r.cfg.LegacyTransport {
+		// wg-tracked so Close waits even for these; worst case is one
+		// DialTimeout for an in-flight dial to an unreachable peer.
+		r.wg.Add(1)
+		go r.sendLegacy(to, msg)
+		return
+	}
+	r.senderFor(to).enqueue(msg)
+}
+
+// sendLegacy performs one paper-style connection-per-message send.
+func (r *Runtime) sendLegacy(to proto.NodeID, msg proto.Message) {
+	defer r.wg.Done()
+	addr, ok := r.lookup(to)
+	if !ok {
+		return
+	}
+	conn, err := net.DialTimeout("tcp", addr, r.cfg.DialTimeout)
+	if err != nil {
+		r.stats.dropped.Add(1)
+		return // unreachable peers are a normal event
+	}
+	defer conn.Close()
+	if !r.track(conn) {
+		return
+	}
+	defer r.untrack(conn)
+	_ = conn.SetWriteDeadline(time.Now().Add(time.Minute))
+	env := envelope{From: r.cfg.ID, Msg: msg}
+	if err := gob.NewEncoder(conn).Encode(&env); err != nil {
+		r.stats.dropped.Add(1)
+		r.cfg.Logf("rt(%s): send %s to %s: %v", r.cfg.ID, msg.Kind(), to, err)
+		return
+	}
+	r.stats.sent.Add(1)
+	r.stats.flushes.Add(1)
 }
 
 // ---------------------------------------------------------------------
@@ -411,7 +566,25 @@ func (d *fileDisk) Write(key string, value []byte) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, d.path(key))
+	if err := os.Rename(tmp, d.path(key)); err != nil {
+		return err
+	}
+	// The rename is only durable once the directory entry itself is on
+	// disk: a crash between the rename and the directory fsync can
+	// lose the key or resurrect the old value, and pessimistic logging
+	// is only pessimistic if it never depends on that luck.
+	return syncDir(d.dir)
+}
+
+// syncDir fsyncs a directory, making a preceding rename inside it
+// crash-durable. A variable so tests can observe the calls.
+var syncDir = func(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
 }
 
 func (d *fileDisk) Read(key string) ([]byte, bool) {
@@ -427,7 +600,13 @@ func (d *fileDisk) Read(key string) ([]byte, bool) {
 func (d *fileDisk) Delete(key string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	_ = os.Remove(d.path(key))
+	if err := os.Remove(d.path(key)); err != nil {
+		return
+	}
+	// Same durability rule as Write: an unsynced directory can
+	// resurrect the deleted key after a crash, replaying a record the
+	// log already truncated.
+	_ = syncDir(d.dir)
 }
 
 func (d *fileDisk) Keys(prefix string) []string {

@@ -1,0 +1,287 @@
+package rt
+
+// The pooled transport: one sender goroutine per peer owns a single
+// long-lived TCP connection and a reused gob encoder, so sustained
+// traffic pays the dial and the gob type-descriptor handshake once per
+// connection instead of once per message. Semantics stay the paper's
+// best-effort channel:
+//
+//   - enqueue never blocks the caller; a full queue drops the oldest
+//     envelope (indistinguishable from network loss, which the
+//     protocol absorbs by design);
+//   - everything queued at flush time is coalesced into one write;
+//   - a broken or unreachable connection silently drops the batch and
+//     redials with jittered exponential backoff — connection breaks
+//     are NEVER fault signals, only heartbeat timeouts are;
+//   - after IdleTimeout without traffic the sender closes the
+//     connection and retires, returning a quiet peer to the paper's
+//     connection-less behaviour.
+//
+// The read side (Runtime.handleConn) speaks length-of-stream framing —
+// decode envelopes until EOF — so the legacy one-envelope-per-
+// connection transport (Config.LegacyTransport) remains wire
+// compatible as the shortest possible stream.
+
+import (
+	"bufio"
+	"encoding/gob"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rpcv/internal/proto"
+)
+
+const (
+	defaultQueueDepth      = 128
+	defaultIdleTimeout     = 30 * time.Second
+	defaultMaxInboundConns = 256
+
+	// Redial backoff bounds (jittered exponential).
+	backoffMin = 50 * time.Millisecond
+	backoffMax = 2 * time.Second
+)
+
+// TransportStats is a snapshot of a runtime's transport counters.
+type TransportStats struct {
+	// Sent counts envelopes handed to the OS.
+	Sent uint64
+	// Flushes counts connection writes; Sent/Flushes is the achieved
+	// coalescing factor (always 1 on the legacy transport).
+	Flushes uint64
+	// Dropped counts envelopes lost locally: queue overflow, dial
+	// failure, or a connection that broke mid-batch.
+	Dropped uint64
+	// Redials counts dial attempts after a sender's first.
+	Redials uint64
+	// Sheds counts inbound connections closed at accept because
+	// MaxInboundConns was reached.
+	Sheds uint64
+}
+
+// transportCounters is the atomic backing store of TransportStats.
+type transportCounters struct {
+	sent, flushes, dropped, redials, sheds atomic.Uint64
+}
+
+// TransportStats returns the current transport counters.
+func (r *Runtime) TransportStats() TransportStats {
+	return TransportStats{
+		Sent:    r.stats.sent.Load(),
+		Flushes: r.stats.flushes.Load(),
+		Dropped: r.stats.dropped.Load(),
+		Redials: r.stats.redials.Load(),
+		Sheds:   r.stats.sheds.Load(),
+	}
+}
+
+// sender owns the pooled connection to one peer.
+type sender struct {
+	rt *Runtime
+	to proto.NodeID
+
+	mu      sync.Mutex
+	queue   []proto.Message
+	retired bool
+
+	wake chan struct{} // 1-buffered doorbell
+}
+
+// senderFor returns the live sender for a peer, creating it (and its
+// goroutine) when none exists or the previous one retired at idle.
+func (r *Runtime) senderFor(to proto.NodeID) *sender {
+	r.sendMu.Lock()
+	defer r.sendMu.Unlock()
+	if s, ok := r.senders[to]; ok {
+		return s
+	}
+	s := &sender{rt: r, to: to, wake: make(chan struct{}, 1)}
+	r.senders[to] = s
+	r.wg.Add(1)
+	go s.run()
+	return s
+}
+
+// enqueue adds msg to the bounded queue, dropping the oldest envelope
+// when full. It never blocks. If the sender retired concurrently it
+// re-resolves a fresh one.
+func (s *sender) enqueue(msg proto.Message) {
+	for {
+		s.mu.Lock()
+		if s.retired {
+			s.mu.Unlock()
+			s = s.rt.senderFor(s.to)
+			continue
+		}
+		if len(s.queue) >= s.rt.cfg.QueueDepth {
+			copy(s.queue, s.queue[1:])
+			s.queue = s.queue[:len(s.queue)-1]
+			s.rt.stats.dropped.Add(1)
+		}
+		s.queue = append(s.queue, msg)
+		s.mu.Unlock()
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+		return
+	}
+}
+
+// drain takes the whole queue: one coalesced batch.
+func (s *sender) drain() []proto.Message {
+	s.mu.Lock()
+	batch := s.queue
+	s.queue = nil
+	s.mu.Unlock()
+	return batch
+}
+
+// tryRetire atomically unregisters an idle sender so a later send
+// creates a fresh one. It fails if messages arrived meanwhile.
+func (s *sender) tryRetire() bool {
+	s.rt.sendMu.Lock()
+	defer s.rt.sendMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queue) > 0 {
+		return false
+	}
+	s.retired = true
+	delete(s.rt.senders, s.to)
+	return true
+}
+
+// run is the sender goroutine: wait for work, flush it coalesced,
+// redial with backoff on failure, retire at idle.
+func (s *sender) run() {
+	defer s.rt.wg.Done()
+
+	var conn net.Conn
+	var bw *bufio.Writer
+	var enc *gob.Encoder
+	var dialedAddr string
+	closeConn := func() {
+		if conn != nil {
+			s.rt.untrack(conn)
+			conn.Close()
+			conn, bw, enc = nil, nil, nil
+		}
+	}
+	defer closeConn()
+
+	backoff := backoffMin
+	dialed := false
+	idle := time.NewTimer(s.rt.cfg.IdleTimeout)
+	defer idle.Stop()
+
+	for {
+		select {
+		case <-s.rt.quit:
+			return
+		case <-s.wake:
+		case <-idle.C:
+			// Quiet peer: close the pooled connection and retire —
+			// back to the paper's connection-less behaviour.
+			if s.tryRetire() {
+				return
+			}
+			idle.Reset(s.rt.cfg.IdleTimeout)
+			continue
+		}
+
+		for {
+			batch := s.drain()
+			if len(batch) == 0 {
+				break
+			}
+			addr, ok := s.rt.lookup(s.to)
+			if !ok {
+				s.rt.stats.dropped.Add(uint64(len(batch)))
+				break
+			}
+			if conn != nil && addr != dialedAddr {
+				// The directory moved the peer (SetPeer): abandon the
+				// connection to the old endpoint — the legacy
+				// transport re-resolved on every send, and a live-but-
+				// wrong connection must not pin traffic there forever.
+				closeConn()
+			}
+			if conn == nil {
+				c, err := net.DialTimeout("tcp", addr, s.rt.cfg.DialTimeout)
+				if dialed {
+					s.rt.stats.redials.Add(1)
+				}
+				dialed = true
+				if err != nil {
+					// Unreachable peer: the batch is lost (best
+					// effort) and the next attempt waits a jittered
+					// backoff, so a dead peer costs one dial per
+					// window instead of one per message.
+					s.rt.stats.dropped.Add(uint64(len(batch)))
+					select {
+					case <-s.rt.quit:
+						return
+					case <-time.After(jitter(backoff)):
+					}
+					if backoff *= 2; backoff > backoffMax {
+						backoff = backoffMax
+					}
+					continue
+				}
+				if !s.rt.track(c) {
+					return // shutting down; track closed c
+				}
+				conn, bw = c, bufio.NewWriter(c)
+				enc = gob.NewEncoder(bw)
+				dialedAddr = addr
+				backoff = backoffMin
+			}
+			_ = conn.SetWriteDeadline(time.Now().Add(time.Minute))
+			var werr error
+			for _, m := range batch {
+				env := envelope{From: s.rt.cfg.ID, Msg: m}
+				if werr = enc.Encode(&env); werr != nil {
+					break
+				}
+			}
+			if werr == nil {
+				werr = bw.Flush()
+			}
+			if werr != nil {
+				// Broken connection: delivery of the whole batch is
+				// unknown (Encode lands in the bufio buffer, so a
+				// flush error loses envelopes that "encoded fine"),
+				// and the encoder's stream state is unrecoverable —
+				// count everything dropped, close, redial on the next
+				// batch. Never a fault signal.
+				s.rt.stats.dropped.Add(uint64(len(batch)))
+				closeConn()
+				continue
+			}
+			s.rt.stats.sent.Add(uint64(len(batch)))
+			s.rt.stats.flushes.Add(1)
+		}
+		resetTimer(idle, s.rt.cfg.IdleTimeout)
+	}
+}
+
+// resetTimer re-arms t, draining a stale tick first so an expiry that
+// raced the flush loop does not fire immediately.
+func resetTimer(t *time.Timer, d time.Duration) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	t.Reset(d)
+}
+
+// jitter spreads d uniformly over [d/2, 3d/2) so reconnecting peers do
+// not synchronize their dials.
+func jitter(d time.Duration) time.Duration {
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}

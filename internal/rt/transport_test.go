@@ -1,0 +1,321 @@
+package rt
+
+import (
+	"encoding/gob"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"rpcv/internal/proto"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return cond()
+}
+
+// TestPooledDeliveryAndCoalescing sends a burst through the pooled
+// transport: every message must arrive, and the burst must ride far
+// fewer connection flushes than messages (the coalescing the legacy
+// transport cannot do, where flushes == messages by construction).
+func TestPooledDeliveryAndCoalescing(t *testing.T) {
+	const burst = 64
+	a := &echo{}
+	b := &echo{}
+	ra, err := Start(Config{ID: "a", ListenAddr: "127.0.0.1:0", Handler: a, Logf: quietLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ra.Close()
+	rb, err := Start(Config{ID: "b", ListenAddr: "127.0.0.1:0", Handler: b, Logf: quietLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rb.Close()
+	ra.SetPeer("b", rb.Addr())
+
+	ra.Do(func() {
+		for i := 0; i < burst; i++ {
+			a.env.Send("b", &proto.Poll{User: "u", Session: 1})
+		}
+	})
+	if !waitFor(t, 5*time.Second, func() bool { return b.count() == burst }) {
+		t.Fatalf("delivered %d/%d messages", b.count(), burst)
+	}
+	st := ra.TransportStats()
+	if st.Sent != burst || st.Dropped != 0 {
+		t.Fatalf("stats = %+v, want %d sent, 0 dropped", st, burst)
+	}
+	if st.Flushes >= st.Sent {
+		t.Fatalf("no coalescing: %d flushes for %d envelopes", st.Flushes, st.Sent)
+	}
+}
+
+// TestSendQueueBoundedNoGoroutineLeak floods a sender whose peer is
+// unreachable. The legacy transport spawned one goroutine per message
+// (each holding a dial for up to DialTimeout); the pooled transport
+// must keep a single sender goroutine and bound the queue by dropping
+// the oldest envelopes.
+func TestSendQueueBoundedNoGoroutineLeak(t *testing.T) {
+	const flood = 500
+	a := &echo{}
+	ra, err := Start(Config{
+		ID: "a", Handler: a, Logf: quietLogf,
+		QueueDepth: 8,
+		// A bound-but-unserved port: dials fail fast with refused.
+		Directory: Directory{"ghost": "127.0.0.1:1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ra.Close()
+
+	before := runtime.NumGoroutine()
+	ra.Do(func() {
+		for i := 0; i < flood; i++ {
+			a.env.Send("ghost", &proto.Heartbeat{From: "a"})
+		}
+	})
+	if after := runtime.NumGoroutine(); after > before+20 {
+		t.Fatalf("goroutines grew %d -> %d during flood (per-message spawn?)", before, after)
+	}
+	// Every envelope is eventually dropped (overflow or failed dial),
+	// none can be in flight, and the queue stays at depth.
+	if !waitFor(t, 5*time.Second, func() bool {
+		st := ra.TransportStats()
+		return st.Dropped+8 >= flood
+	}) {
+		t.Fatalf("dropped = %d, want >= %d", ra.TransportStats().Dropped, flood-8)
+	}
+	if st := ra.TransportStats(); st.Sent != 0 {
+		t.Fatalf("sent %d envelopes to an unreachable peer", st.Sent)
+	}
+}
+
+// TestIdleTimeoutRetiresSenderAndRevives checks the pool returns to
+// the paper's connection-less behaviour for quiet peers: after
+// IdleTimeout the sender goroutine and its connection go away, and a
+// later send transparently builds fresh ones.
+func TestIdleTimeoutRetiresSenderAndRevives(t *testing.T) {
+	a := &echo{}
+	b := &echo{}
+	ra, err := Start(Config{ID: "a", Handler: a, Logf: quietLogf, IdleTimeout: 80 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ra.Close()
+	rb, err := Start(Config{ID: "b", ListenAddr: "127.0.0.1:0", Handler: b, Logf: quietLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rb.Close()
+	ra.SetPeer("b", rb.Addr())
+
+	senderCount := func() int {
+		ra.sendMu.Lock()
+		defer ra.sendMu.Unlock()
+		return len(ra.senders)
+	}
+
+	ra.Do(func() { a.env.Send("b", &proto.Poll{User: "u", Session: 1}) })
+	if !waitFor(t, 2*time.Second, func() bool { return b.count() == 1 }) {
+		t.Fatal("first message never arrived")
+	}
+	if senderCount() != 1 {
+		t.Fatalf("senders = %d, want 1", senderCount())
+	}
+	if !waitFor(t, 2*time.Second, func() bool { return senderCount() == 0 }) {
+		t.Fatal("idle sender never retired")
+	}
+	ra.Do(func() { a.env.Send("b", &proto.Poll{User: "u", Session: 2}) })
+	if !waitFor(t, 2*time.Second, func() bool { return b.count() == 2 }) {
+		t.Fatal("send after idle retirement never arrived")
+	}
+}
+
+// TestSetPeerRedirectsLiveSender checks a pooled sender follows
+// directory updates: after SetPeer moves a peer, traffic must land at
+// the new endpoint even though the connection to the old one is still
+// perfectly alive (the legacy transport re-resolved on every send; a
+// live-but-wrong connection must not pin messages to a stale address).
+func TestSetPeerRedirectsLiveSender(t *testing.T) {
+	a := &echo{}
+	old := &echo{}
+	cur := &echo{}
+	ra, err := Start(Config{ID: "a", Handler: a, Logf: quietLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ra.Close()
+	rOld, err := Start(Config{ID: "b", ListenAddr: "127.0.0.1:0", Handler: old, Logf: quietLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rOld.Close()
+	rCur, err := Start(Config{ID: "b", ListenAddr: "127.0.0.1:0", Handler: cur, Logf: quietLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rCur.Close()
+
+	ra.SetPeer("b", rOld.Addr())
+	ra.Do(func() { a.env.Send("b", &proto.Poll{User: "u", Session: 1}) })
+	if !waitFor(t, 5*time.Second, func() bool { return old.count() == 1 }) {
+		t.Fatal("message never reached the original endpoint")
+	}
+	ra.SetPeer("b", rCur.Addr())
+	ra.Do(func() { a.env.Send("b", &proto.Poll{User: "u", Session: 2}) })
+	if !waitFor(t, 5*time.Second, func() bool { return cur.count() == 1 }) {
+		t.Fatalf("message pinned to the stale endpoint (old=%d cur=%d)", old.count(), cur.count())
+	}
+}
+
+// TestLegacyTransportInterop proves wire compatibility both ways: a
+// LegacyTransport sender delivers to a pooled read side, and a raw
+// one-envelope-then-close connection (what a pre-pooling binary
+// writes) is accepted as the shortest envelope stream.
+func TestLegacyTransportInterop(t *testing.T) {
+	b := &echo{}
+	rb, err := Start(Config{ID: "b", ListenAddr: "127.0.0.1:0", Handler: b, Logf: quietLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rb.Close()
+
+	a := &echo{}
+	ra, err := Start(Config{ID: "a", Handler: a, Logf: quietLogf, LegacyTransport: true,
+		Directory: Directory{"b": rb.Addr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ra.Close()
+
+	ra.Do(func() { a.env.Send("b", &proto.Poll{User: "u", Session: 1}) })
+	if !waitFor(t, 5*time.Second, func() bool { return b.count() == 1 }) {
+		t.Fatal("legacy send never arrived at pooled reader")
+	}
+	if st := ra.TransportStats(); st.Sent != 1 || st.Flushes != 1 {
+		t.Fatalf("legacy stats = %+v, want one envelope per flush", st)
+	}
+
+	// Raw legacy wire: dial, write exactly one envelope, close.
+	conn, err := net.Dial("tcp", rb.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := envelope{From: "raw", Msg: &proto.Poll{User: "u", Session: 9}}
+	if err := gob.NewEncoder(conn).Encode(&env); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if !waitFor(t, 5*time.Second, func() bool { return b.count() == 2 }) {
+		t.Fatal("raw one-envelope connection never decoded")
+	}
+}
+
+// TestMaxInboundConnsSheds verifies accept-side shedding: connections
+// beyond the cap are closed immediately and counted, instead of each
+// holding a file descriptor until a read deadline expires.
+func TestMaxInboundConnsSheds(t *testing.T) {
+	b := &echo{}
+	rb, err := Start(Config{ID: "b", ListenAddr: "127.0.0.1:0", Handler: b, Logf: quietLogf,
+		MaxInboundConns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rb.Close()
+
+	var held []net.Conn
+	defer func() {
+		for _, c := range held {
+			c.Close()
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		c, err := net.Dial("tcp", rb.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, c)
+	}
+	// The two slow conns must be registered before the third arrives.
+	if !waitFor(t, 2*time.Second, func() bool { return rb.inbound.Load() == 2 }) {
+		t.Fatalf("inbound = %d, want 2", rb.inbound.Load())
+	}
+
+	over, err := net.Dial("tcp", rb.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer over.Close()
+	_ = over.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := over.Read(make([]byte, 1)); err == nil {
+		t.Fatal("over-cap connection was served")
+	}
+	if st := rb.TransportStats(); st.Sheds != 1 {
+		t.Fatalf("sheds = %d, want 1", st.Sheds)
+	}
+}
+
+// TestFileDiskWriteSyncsDirectory is the durability regression test:
+// fileDisk.Write synced the file but never the parent directory, so a
+// crash right after the rename could lose it — the message log's
+// pessimistic guarantee hinged on filesystem luck.
+func TestFileDiskWriteSyncsDirectory(t *testing.T) {
+	var (
+		mu     sync.Mutex
+		synced []string
+	)
+	orig := syncDir
+	syncDir = func(dir string) error {
+		mu.Lock()
+		synced = append(synced, dir)
+		mu.Unlock()
+		return orig(dir)
+	}
+	defer func() { syncDir = orig }()
+
+	dir := t.TempDir()
+	d, err := newFileDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write("msglog/1", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	count := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, s := range synced {
+			if s != dir {
+				t.Fatalf("synced %q, want %q", s, dir)
+			}
+		}
+		return len(synced)
+	}
+	if count() == 0 {
+		t.Fatal("Write never fsynced the directory after the rename")
+	}
+	if v, ok := d.Read("msglog/1"); !ok || string(v) != "payload" {
+		t.Fatalf("read back = %q, %v", v, ok)
+	}
+	// Delete has the same crash-resurrection hazard as Write's rename.
+	before := count()
+	d.Delete("msglog/1")
+	if count() <= before {
+		t.Fatal("Delete never fsynced the directory after the remove")
+	}
+	if _, ok := d.Read("msglog/1"); ok {
+		t.Fatal("delete ineffective")
+	}
+}
