@@ -6,11 +6,12 @@
 #   make shard      print the shard-scaling table (quick sweep)
 #   make sched      print the scheduling-policy + work-stealing tables
 #   make transport  print the pooled-vs-legacy transport table
-#   make race       race-detect the real runtime (transport goroutines)
+#   make store      print the durable-store (wal vs files) table
+#   make race       race-detect the real runtime and the store engines
 
 GO ?= go
 
-.PHONY: all vet build test bench smoke shard sched transport race ci
+.PHONY: all vet build test bench smoke shard sched transport store race ci
 
 all: vet build test
 
@@ -24,13 +25,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/rt/...
+	$(GO) test -race ./internal/rt/... ./internal/store/...
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
 smoke:
-	$(GO) test -short -run '^$$' -bench 'BenchmarkFig4MessageLogging|BenchmarkShardScale|BenchmarkTransportCompare' -benchtime 1x .
+	$(GO) test -short -run '^$$' -bench 'BenchmarkFig4MessageLogging|BenchmarkShardScale|BenchmarkTransportCompare|BenchmarkLogStoreCompare' -benchtime 1x .
 
 shard:
 	$(GO) run ./cmd/rpcv-bench -fig shard-scale -quick
@@ -40,5 +41,8 @@ sched:
 
 transport:
 	$(GO) run ./cmd/rpcv-bench -fig transport-compare -quick
+
+store:
+	$(GO) run ./cmd/rpcv-bench -fig log-store-compare -quick
 
 ci: vet build test race smoke

@@ -269,6 +269,28 @@ func BenchmarkTransportCompare(b *testing.B) {
 	}
 }
 
+// BenchmarkLogStoreCompare regenerates the durable-store comparison:
+// blocking-pessimistic submission throughput per store engine on a
+// real loopback grid with real disks under the fig-7 fault load. The
+// wal engine's group commit must show up as a multiple of the files
+// engine's per-key-fsync throughput.
+func BenchmarkLogStoreCompare(b *testing.B) {
+	var res experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.LogStoreCompare(opts())
+	}
+	t := res.Tables[0]
+	for row := 0; row < t.Rows(); row++ {
+		name := t.Cell(row, 0)
+		tp, err := strconv.ParseFloat(t.Cell(row, 1), 64)
+		if err != nil {
+			b.Fatalf("bad throughput cell %q: %v", t.Cell(row, 1), err)
+		}
+		b.ReportMetric(tp, "submits/s-"+name)
+		b.ReportMetric(cellDur(b, t, row, 3), "ms-p99-"+name)
+	}
+}
+
 // BenchmarkSubmissionThroughput is a micro-benchmark of the simulated
 // client/coordinator submission path itself (how many virtual RPC
 // submissions per real second the framework sustains).

@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,10,11, ablation-*, shard-scale, sched-compare, transport-compare, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,10,11, ablation-*, shard-scale, sched-compare, transport-compare, log-store-compare, or all")
 	quick := flag.Bool("quick", false, "reduced sweeps and populations")
 	seed := flag.Int64("seed", 2004, "random seed")
 	flag.Parse()
@@ -39,10 +39,11 @@ func main() {
 		"shard-scale":          experiments.ShardScale,
 		"sched-compare":        experiments.SchedCompare,
 		"transport-compare":    experiments.TransportCompare,
+		"log-store-compare":    experiments.LogStoreCompare,
 	}
 	order := []string{"4", "5", "6", "7", "8", "9", "10", "11",
 		"ablation-heartbeat", "ablation-replication", "ablation-recovery",
-		"shard-scale", "sched-compare", "transport-compare"}
+		"shard-scale", "sched-compare", "transport-compare", "log-store-compare"}
 
 	var selected []string
 	if *fig == "all" {
@@ -51,7 +52,7 @@ func main() {
 		for _, f := range strings.Split(*fig, ",") {
 			f = strings.TrimSpace(f)
 			if _, ok := runners[f]; !ok {
-				fmt.Fprintf(os.Stderr, "rpcv-bench: unknown figure %q (want 4..11, ablation-*, shard-scale, sched-compare, transport-compare, or all)\n", f)
+				fmt.Fprintf(os.Stderr, "rpcv-bench: unknown figure %q (want 4..11, ablation-*, shard-scale, sched-compare, transport-compare, log-store-compare, or all)\n", f)
 				os.Exit(2)
 			}
 			selected = append(selected, f)

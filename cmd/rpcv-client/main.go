@@ -6,6 +6,11 @@
 //	rpcv-client -coordinators coord-a=host1:7000 \
 //	    -service upper -data "hello grid" -n 4
 //
+// With -disk, -store selects the durable engine backing the message
+// log ("files", the legacy per-key layout and default, or "wal", the
+// group-commit write-ahead log that batches concurrent submissions'
+// log entries into shared fsyncs).
+//
 // The client tags every submission with a (user, session, rpc) unique
 // ID and logs it per the chosen strategy; re-running with the same
 // -user and -session retrieves results of a previous (possibly
@@ -17,11 +22,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"rpcv/internal/gridrpc"
 	"rpcv/internal/msglog"
 	"rpcv/internal/shared"
+	"rpcv/internal/store"
 )
 
 func main() {
@@ -30,6 +37,7 @@ func main() {
 	coords := flag.String("coordinators", "", "comma-separated id=addr coordinator list (required)")
 	listen := flag.String("listen", "127.0.0.1:0", "reply listen address")
 	disk := flag.String("disk", "", "message log directory (empty: volatile)")
+	storeEngine := flag.String("store", store.Default, "durable store engine backing -disk: "+strings.Join(store.Engines(), " | "))
 	service := flag.String("service", "echo", "service name to call")
 	data := flag.String("data", "", "call parameters (string payload)")
 	n := flag.Int("n", 1, "number of concurrent non-blocking calls")
@@ -77,6 +85,7 @@ func main() {
 		Coordinators:    coordAddrs,
 		ListenAddr:      *listen,
 		DiskDir:         *disk,
+		Store:           *storeEngine,
 		Logging:         strat,
 		Shard:           smap,
 		LegacyTransport: *legacyTransport,

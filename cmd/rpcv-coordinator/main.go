@@ -5,7 +5,13 @@
 //
 //	rpcv-coordinator -id coord-a -listen :7000 \
 //	    -peers coord-b=host2:7000,coord-c=host3:7000 \
-//	    -disk /var/lib/rpcv/coord-a -replication 60s
+//	    -disk /var/lib/rpcv/coord-a -store wal -replication 60s
+//
+// -store selects the durable engine backing -disk: "files" (legacy
+// one-fsynced-file-per-key layout, the default) or "wal" (group-commit
+// write-ahead log with snapshots and compaction — amortizes the fsync
+// per job record across concurrent submissions). An engine never opens
+// the other engine's directory.
 //
 // Peers are fellow coordinators forming the passive-replication ring.
 // Clients and servers reach this coordinator at the listen address; the
@@ -30,6 +36,7 @@ import (
 	"rpcv/internal/rt"
 	"rpcv/internal/sched"
 	"rpcv/internal/shared"
+	"rpcv/internal/store"
 )
 
 func main() {
@@ -38,6 +45,7 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated id=addr fellow coordinators")
 	clients := flag.String("nodes", "", "comma-separated id=addr known clients/servers (static directory)")
 	disk := flag.String("disk", "", "stable storage directory (empty: volatile)")
+	storeEngine := flag.String("store", store.Default, "durable store engine backing -disk: "+strings.Join(store.Engines(), " | "))
 	replication := flag.Duration("replication", 60*time.Second, "passive replication period")
 	heartbeat := flag.Duration("heartbeat", 5*time.Second, "heartbeat period")
 	timeout := flag.Duration("timeout", 30*time.Second, "fault suspicion timeout")
@@ -119,6 +127,7 @@ func main() {
 		ListenAddr:      *listen,
 		Directory:       dir,
 		DiskDir:         *disk,
+		Store:           *storeEngine,
 		Handler:         co,
 		LegacyTransport: *legacyTransport,
 		QueueDepth:      *queueDepth,

@@ -4,7 +4,11 @@
 //
 //	rpcv-server -id worker-7 -listen :7100 \
 //	    -coordinators coord-a=host1:7000,coord-b=host2:7000 \
-//	    -disk /var/lib/rpcv/worker-7 -parallel 2
+//	    -disk /var/lib/rpcv/worker-7 -store wal -parallel 2
+//
+// -store selects the durable engine backing -disk ("files", the
+// legacy per-key layout and default, or "wal", the group-commit
+// write-ahead log); an engine never opens the other's directory.
 //
 // The worker pulls tasks from its preferred coordinator with 5-second
 // heartbeats, executes the built-in demo services (echo, upper,
@@ -20,6 +24,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -27,6 +32,7 @@ import (
 	"rpcv/internal/rt"
 	"rpcv/internal/server"
 	"rpcv/internal/shared"
+	"rpcv/internal/store"
 )
 
 func main() {
@@ -34,6 +40,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
 	coords := flag.String("coordinators", "", "comma-separated id=addr coordinator list (required)")
 	disk := flag.String("disk", "", "stable storage directory (empty: volatile)")
+	storeEngine := flag.String("store", store.Default, "durable store engine backing -disk: "+strings.Join(store.Engines(), " | "))
 	parallel := flag.Int("parallel", 1, "concurrent task capacity")
 	heartbeat := flag.Duration("heartbeat", 5*time.Second, "heartbeat period")
 	timeout := flag.Duration("timeout", 30*time.Second, "coordinator suspicion timeout")
@@ -64,6 +71,7 @@ func main() {
 		ListenAddr:      *listen,
 		Directory:       dir,
 		DiskDir:         *disk,
+		Store:           *storeEngine,
 		Handler:         sv,
 		LegacyTransport: *legacyTransport,
 		QueueDepth:      *queueDepth,

@@ -32,6 +32,23 @@
 // through cmd/rpcv-coordinator's -policy, -speculate and -steal flags;
 // measured by the sched-compare experiment.
 //
+// internal/store makes stable storage a pluggable durable-store layer
+// behind node.Disk, mapping engines to the paper's three logging
+// strategies (figure 4): "files" keeps the legacy one-fsynced-file-
+// per-key layout whose per-entry disk access is the measured ~30%
+// blocking-pessimistic overhead; "wal" — a segmented group-commit
+// write-ahead log with CRC-framed records, snapshots, compaction and
+// torn-tail-tolerant recovery — batches concurrent log entries into
+// shared fsyncs, making blocking-pessimistic logging nearly as cheap
+// as optimistic while keeping durability-before-send; "memory" is the
+// volatile stand-in. internal/msglog routes every strategy's
+// durability wait through the store's batch commit (node.BatchDisk),
+// and msglog.Config.Batched models the same amortization on the
+// simulator's virtual clock (node.BatchResource). Selected with
+// -store on every daemon; measured by the log-store-compare
+// experiment; crash recovery proven by the kill-and-restart
+// coordinator test in internal/rt.
+//
 // internal/rt's transport pools connections beyond the paper's
 // connection-per-message model: one long-lived connection per peer
 // owned by a sender goroutine, a bounded send queue with drop-oldest

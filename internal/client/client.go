@@ -49,7 +49,9 @@ type Config struct {
 	// Logging selects the message-logging strategy (figure 4).
 	Logging msglog.Strategy
 
-	// Disk models log-write latency; nil means msglog.IDEDisk().
+	// Disk models log-write latency; nil means msglog.IDEDisk(). On
+	// the real runtime the store's batch commit owns the timing and
+	// the model is ignored (see msglog's node.BatchDisk routing).
 	Disk msglog.DiskModel
 
 	// OnResult, when non-nil, is invoked once per completed call when

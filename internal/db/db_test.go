@@ -47,6 +47,75 @@ func TestPeekDoesNotCharge(t *testing.T) {
 	}
 }
 
+func TestGetChargesWherePeekDoesNot(t *testing.T) {
+	// The same lookup through the two doors: Get models a SQL
+	// statement (one op, payload-scaled cost), Peek models internal
+	// bookkeeping (free). The difference is what keeps measurement
+	// from perturbing the virtual clock.
+	cost := CostModel{PerOp: time.Millisecond, PerByte: time.Microsecond}
+	d := New(cost)
+	r := rec("u", 1, proto.TaskPending)
+	r.Params = make([]byte, 100)
+	d.Put(r)
+	d.DrainCost()
+	baseOps := d.Ops()
+
+	if _, ok := d.Peek(r.Call); !ok {
+		t.Fatal("Peek missed the record")
+	}
+	if d.Ops() != baseOps || d.DrainCost() != 0 {
+		t.Fatal("Peek charged disk cost")
+	}
+
+	if _, ok := d.Get(r.Call); !ok {
+		t.Fatal("Get missed the record")
+	}
+	if d.Ops() != baseOps+1 {
+		t.Fatalf("Get charged %d ops, want exactly 1", d.Ops()-baseOps)
+	}
+	if want := cost.Cost(100); d.DrainCost() != want {
+		t.Fatalf("Get cost drained != %v (payload-scaled)", want)
+	}
+
+	// A miss still charges the statement (the index was consulted).
+	d.Get(proto.CallID{User: "ghost", Session: 1, Seq: 9})
+	if d.Ops() != baseOps+2 {
+		t.Fatal("missing-key Get did not charge")
+	}
+}
+
+func TestLenAllConsistentAfterDelete(t *testing.T) {
+	d := New(ConfinedCost())
+	for i := 1; i <= 5; i++ {
+		d.Put(rec("u", i, proto.TaskPending))
+	}
+	d.Delete(proto.CallID{User: "u", Session: 1, Seq: 2})
+	d.Delete(proto.CallID{User: "u", Session: 1, Seq: 4})
+	d.Delete(proto.CallID{User: "ghost", Session: 1, Seq: 1}) // absent: no-op
+
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", d.Len())
+	}
+	all := d.All()
+	if len(all) != d.Len() {
+		t.Fatalf("All returned %d records, Len says %d", len(all), d.Len())
+	}
+	wantSeqs := []proto.RPCSeq{1, 3, 5}
+	for i, r := range all {
+		if r.Call.Seq != wantSeqs[i] {
+			t.Fatalf("All[%d].Seq = %d, want %d (sorted, deleted keys gone)", i, r.Call.Seq, wantSeqs[i])
+		}
+	}
+	// PeekAll agrees with All and stays free.
+	ops := d.Ops()
+	if got := d.PeekAll(); len(got) != len(all) {
+		t.Fatalf("PeekAll %d records, All %d", len(got), len(all))
+	}
+	if d.Ops() != ops {
+		t.Fatal("PeekAll charged")
+	}
+}
+
 func TestCostAccumulatesAndDrains(t *testing.T) {
 	cost := CostModel{PerOp: time.Millisecond, PerByte: 0}
 	d := New(cost)

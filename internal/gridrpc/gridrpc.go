@@ -60,6 +60,11 @@ type Config struct {
 	ListenAddr string
 	// DiskDir backs the client's message log; empty means volatile.
 	DiskDir string
+	// Store selects the durable-store engine backing DiskDir ("files",
+	// the default, or "wal"; see internal/store). With "wal",
+	// concurrent CallAsync submissions' log entries share group-commit
+	// fsyncs, cutting pessimistic-logging overhead.
+	Store string
 	// Logging selects the message-logging strategy. The paper
 	// recommends non-blocking pessimistic: submission time close to
 	// optimistic, shorter re-submission after a double crash.
@@ -181,6 +186,7 @@ func Dial(cfg Config) (*Session, error) {
 		ListenAddr:      cfg.ListenAddr,
 		Directory:       dir,
 		DiskDir:         cfg.DiskDir,
+		Store:           cfg.Store,
 		Handler:         s.cli,
 		Logf:            logf,
 		LegacyTransport: cfg.LegacyTransport,

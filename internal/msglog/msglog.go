@@ -26,6 +26,19 @@
 // through the node.Env abstraction, so the same code drives both the
 // simulator (where the disk model charges virtual latency) and the real
 // runtime.
+//
+// Durability timing has two sources. When the node's store implements
+// node.BatchDisk (the real runtime over internal/store), every
+// strategy routes its durability wait through the store's group
+// commit: the entry is staged with WriteAsync and the strategy's
+// completion point — send start for blocking pessimistic, operation
+// end for non-blocking — fires when the batch fsync covering it
+// returns. Concurrent loggers thereby share fsyncs, which is what
+// makes blocking-pessimistic logging nearly as cheap as optimistic
+// without weakening the guarantee. Otherwise (the simulator) the
+// configured DiskModel charges virtual latency, serialized through a
+// disk-arm resource — or, with Config.Batched, through a group-commit
+// resource that models the same amortization on the virtual clock.
 package msglog
 
 import (
@@ -116,8 +129,10 @@ type Log struct {
 	disk     DiskModel
 
 	// diskArm serializes log writes: concurrent writes queue behind
-	// one another, as on a real disk.
-	diskArm node.SerialResource
+	// one another, as on a real disk. With Config.Batched, batchArm
+	// replaces it, modelling a group-commit device instead.
+	diskArm  node.SerialResource
+	batchArm *node.BatchResource
 
 	// pending tracks outstanding optimistic flush timers so Close can
 	// cancel them.
@@ -132,6 +147,13 @@ type Config struct {
 	Strategy Strategy
 	// Disk is the write latency model; nil means IDEDisk().
 	Disk DiskModel
+	// Batched models a group-commit store on the virtual clock:
+	// concurrent writes share the disk's access floor (node.
+	// BatchResource) instead of queueing serially behind it. It is the
+	// simulator-side counterpart of internal/store's wal engine and is
+	// ignored when the node's store implements node.BatchDisk (real
+	// group commit owns the timing there).
+	Batched bool
 }
 
 // New creates a log on env's disk.
@@ -142,7 +164,13 @@ func New(env node.Env, cfg Config) *Log {
 	if cfg.Prefix == "" {
 		cfg.Prefix = "msglog/"
 	}
-	return &Log{env: env, prefix: cfg.Prefix, strategy: cfg.Strategy, disk: cfg.Disk}
+	l := &Log{env: env, prefix: cfg.Prefix, strategy: cfg.Strategy, disk: cfg.Disk}
+	if cfg.Batched {
+		// The access floor is the zero-byte write cost; BatchResource
+		// charges it once per batch instead of once per write.
+		l.batchArm = &node.BatchResource{Floor: cfg.Disk(0)}
+	}
+	return l
 }
 
 // Strategy returns the configured strategy.
@@ -153,7 +181,16 @@ func (l *Log) Strategy() Strategy { return l.strategy }
 // completes (see Log's doc for what completion means per strategy).
 func (l *Log) LogAndSend(dst proto.NodeID, msg proto.Message, entry Entry, done func()) {
 	key := l.prefix + entry.Key
-	d := l.diskArm.Acquire(l.env.Now(), l.disk(len(entry.Data)))
+	if bd, ok := l.env.Disk().(node.BatchDisk); ok {
+		l.logAndSendBatched(bd, dst, msg, key, entry.Data, done)
+		return
+	}
+	var d time.Duration
+	if l.batchArm != nil {
+		d = l.batchArm.Acquire(l.env.Now(), l.disk(len(entry.Data)))
+	} else {
+		d = l.diskArm.Acquire(l.env.Now(), l.disk(len(entry.Data)))
+	}
 	switch l.strategy {
 	case Optimistic:
 		// Send now; flush later at low priority. A crash before the
@@ -182,6 +219,64 @@ func (l *Log) LogAndSend(dst proto.NodeID, msg proto.Message, entry Entry, done 
 		l.env.Send(dst, msg)
 		l.env.After(d, func() {
 			l.write(key, entry.Data)
+			if done != nil {
+				done()
+			}
+		})
+	}
+}
+
+// logAndSendBatched is the real-store path: durability timing comes
+// from the store's group commit, not the DiskModel. The entry is
+// staged immediately (read-your-writes, so synchronization sees it)
+// and the strategy decides what waits for the covering batch fsync:
+// nothing (optimistic), the send (blocking pessimistic) or only the
+// completion callback (non-blocking pessimistic — the commit overlaps
+// the communication exactly as the paper describes).
+func (l *Log) logAndSendBatched(bd node.BatchDisk, dst proto.NodeID, msg proto.Message, key string, data []byte, done func()) {
+	logged := func(err error) {
+		if err != nil {
+			l.env.Logf("msglog: write %s: %v", key, err)
+		}
+	}
+	switch l.strategy {
+	case Optimistic:
+		// Send now; the group commit makes the entry durable shortly
+		// after. A crash before that batch's fsync loses the entry —
+		// that is the optimism.
+		l.env.Send(dst, msg)
+		bd.WriteAsync(key, data, logged)
+		if done != nil {
+			done()
+		}
+	case BlockingPessimistic:
+		// The communication begins only after the entry's batch is on
+		// the platter. Concurrent submissions stage into the same
+		// batch, so the per-call cost is a shared fsync.
+		bd.WriteAsync(key, data, func(err error) {
+			if err != nil {
+				// The entry never became durable; sending anyway would
+				// silently abandon durability-before-send, the one
+				// property this strategy exists for. Withhold the send
+				// — the ack-resync machinery retries the operation —
+				// but still complete, so the submission pipeline does
+				// not wedge on a broken disk.
+				logged(err)
+				if done != nil {
+					done()
+				}
+				return
+			}
+			l.env.Send(dst, msg)
+			if done != nil {
+				done()
+			}
+		})
+	case NonBlockingPessimistic:
+		// Send immediately; completion waits for the covering batch.
+		l.env.Send(dst, msg)
+		bd.WriteAsync(key, data, func(err error) {
+			logged(err)
 			if done != nil {
 				done()
 			}
@@ -219,7 +314,13 @@ func (l *Log) GC(drop func(key string) bool) int {
 	removed := 0
 	for _, k := range l.Keys() {
 		if drop(k) {
-			l.env.Disk().Delete(l.prefix + k)
+			if err := l.env.Disk().Delete(l.prefix + k); err != nil {
+				// The entry stays; the next GC pass retries. Resending
+				// a logged message is always safe, so over-retention
+				// costs only space.
+				l.env.Logf("msglog: gc %s: %v", k, err)
+				continue
+			}
 			removed++
 		}
 	}

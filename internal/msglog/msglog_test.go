@@ -2,6 +2,7 @@ package msglog
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 	"time"
 
@@ -131,6 +132,159 @@ func TestDiskWritesSerialize(t *testing.T) {
 			t.Fatalf("completion %d at %v, want %v (disk must serialize)", i, c, want)
 		}
 	}
+}
+
+func TestBatchedModeAmortizesFloor(t *testing.T) {
+	// The sim-side group-commit model: with Batched, N simultaneous
+	// blocking-pessimistic writes complete in one solo commit plus one
+	// shared-floor batch, not N serial commits.
+	model := func(size int) time.Duration {
+		return 10*time.Millisecond + time.Duration(size)*time.Millisecond
+	}
+	w := sim.NewWorld(sim.Config{Seed: 1})
+	src, dst := &host{}, &host{}
+	w.AddNode("src", src)
+	w.AddNode("dst", dst)
+	w.Start("src")
+	w.Start("dst")
+	l := New(src.env, Config{Strategy: BlockingPessimistic, Disk: model, Batched: true})
+
+	var completions []time.Duration
+	for i := 0; i < 4; i++ {
+		l.LogAndSend("dst", &blob{Data: []byte("x")}, Entry{Key: fmt.Sprintf("%d", i), Data: []byte("x")},
+			func() { completions = append(completions, w.Elapsed()) })
+	}
+	w.RunFor(time.Second)
+	if len(completions) != 4 {
+		t.Fatalf("%d completions, want 4", len(completions))
+	}
+	// Solo commit at 11ms; joiners share one floor: 22, 23, 24ms.
+	want := []time.Duration{11, 22, 23, 24}
+	for i, c := range completions {
+		if c != want[i]*time.Millisecond {
+			t.Fatalf("completion %d at %v, want %vms", i, c, want[i])
+		}
+	}
+	if l.Len() != 4 {
+		t.Fatalf("durable entries = %d, want 4", l.Len())
+	}
+}
+
+// fakeBatchDisk implements node.BatchDisk with manual commit control:
+// staged callbacks fire only when the test calls commit, modelling the
+// group-commit store's fsync boundary.
+type fakeBatchDisk struct {
+	data   map[string][]byte
+	staged []func(error)
+}
+
+func newFakeBatchDisk() *fakeBatchDisk { return &fakeBatchDisk{data: map[string][]byte{}} }
+
+func (d *fakeBatchDisk) Write(key string, value []byte) error {
+	d.data[key] = append([]byte(nil), value...)
+	return nil
+}
+func (d *fakeBatchDisk) WriteAsync(key string, value []byte, done func(error)) {
+	d.data[key] = append([]byte(nil), value...)
+	d.staged = append(d.staged, done)
+}
+func (d *fakeBatchDisk) Read(key string) ([]byte, bool) { v, ok := d.data[key]; return v, ok }
+func (d *fakeBatchDisk) Delete(key string) error        { delete(d.data, key); return nil }
+func (d *fakeBatchDisk) Keys(prefix string) []string {
+	var keys []string
+	for k := range d.data {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+func (d *fakeBatchDisk) Sync() error { return nil }
+func (d *fakeBatchDisk) commit() {
+	staged := d.staged
+	d.staged = nil
+	for _, f := range staged {
+		if f != nil {
+			f(nil)
+		}
+	}
+}
+
+// batchEnv is a minimal node.Env over a fakeBatchDisk.
+type batchEnv struct {
+	disk *fakeBatchDisk
+	sent []proto.Message
+}
+
+func (e *batchEnv) Self() proto.NodeID                     { return "src" }
+func (e *batchEnv) Now() time.Time                         { return sim.Epoch }
+func (e *batchEnv) Send(_ proto.NodeID, m proto.Message)   { e.sent = append(e.sent, m) }
+func (e *batchEnv) Disk() node.Disk                        { return e.disk }
+func (e *batchEnv) Rand() *rand.Rand                       { return rand.New(rand.NewSource(1)) }
+func (e *batchEnv) Logf(string, ...any)                    {}
+func (e *batchEnv) After(time.Duration, func()) node.Timer { return noopTimer{} }
+
+type noopTimer struct{}
+
+func (noopTimer) Stop() {}
+
+// TestBatchDiskRoutesDurabilityWaits pins the real-store path: every
+// strategy stages through WriteAsync and ties its completion point to
+// the batch fsync, not the DiskModel.
+func TestBatchDiskRoutesDurabilityWaits(t *testing.T) {
+	entry := Entry{Key: "1", Data: []byte("x")}
+
+	t.Run("blocking-pessimistic", func(t *testing.T) {
+		env := &batchEnv{disk: newFakeBatchDisk()}
+		l := New(env, Config{Strategy: BlockingPessimistic, Disk: InstantDisk()})
+		completed := false
+		l.LogAndSend("dst", &blob{}, entry, func() { completed = true })
+		// Staged (read-your-writes) but the communication must not
+		// have begun: the batch has not fsynced.
+		if _, ok := l.Get("1"); !ok {
+			t.Fatal("entry not staged")
+		}
+		if len(env.sent) != 0 || completed {
+			t.Fatal("blocking pessimistic acted before the group commit")
+		}
+		env.disk.commit()
+		if len(env.sent) != 1 || !completed {
+			t.Fatalf("after commit: sent=%d completed=%v, want 1,true", len(env.sent), completed)
+		}
+	})
+
+	t.Run("non-blocking-pessimistic", func(t *testing.T) {
+		env := &batchEnv{disk: newFakeBatchDisk()}
+		l := New(env, Config{Strategy: NonBlockingPessimistic, Disk: InstantDisk()})
+		completed := false
+		l.LogAndSend("dst", &blob{}, entry, func() { completed = true })
+		// The send overlaps the commit; completion waits for it.
+		if len(env.sent) != 1 {
+			t.Fatal("non-blocking send did not start immediately")
+		}
+		if completed {
+			t.Fatal("completion before the batch fsync")
+		}
+		env.disk.commit()
+		if !completed {
+			t.Fatal("completion never fired after the commit")
+		}
+	})
+
+	t.Run("optimistic", func(t *testing.T) {
+		env := &batchEnv{disk: newFakeBatchDisk()}
+		l := New(env, Config{Strategy: Optimistic, Disk: InstantDisk()})
+		completed := false
+		l.LogAndSend("dst", &blob{}, entry, func() { completed = true })
+		// Everything immediate; durability rides the next commit.
+		if len(env.sent) != 1 || !completed {
+			t.Fatal("optimistic did not complete at send")
+		}
+		env.disk.commit()
+		if _, ok := l.Get("1"); !ok {
+			t.Fatal("entry lost")
+		}
+	})
 }
 
 func TestKeysSortedAndGet(t *testing.T) {

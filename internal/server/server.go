@@ -369,7 +369,16 @@ func (s *Server) handleResultAck(from proto.NodeID, m *proto.TaskResultAck) {
 	delete(s.attempts, m.Task)
 	// The coordinator holds the result durably: garbage-collect the
 	// local log entry (distributed GC of message logs).
-	s.env.Disk().Delete(s.resultKey(m.Task))
+	s.dropResultLog(m.Task)
+}
+
+// dropResultLog garbage-collects one durable result entry. A failed
+// delete is survivable — the entry is re-offered and re-acked after
+// the next restart — but it means the log is not shrinking, so say so.
+func (s *Server) dropResultLog(t proto.TaskID) {
+	if err := s.env.Disk().Delete(s.resultKey(t)); err != nil {
+		s.env.Logf("server: gc result log %s: %v", t, err)
+	}
 }
 
 // handleCancel withdraws one task instance: the coordinator stored
@@ -406,7 +415,7 @@ func (s *Server) handleCancel(from proto.NodeID, m *proto.TaskCancel) {
 		delete(s.unacked, m.Task)
 		delete(s.nextRetry, m.Task)
 		delete(s.attempts, m.Task)
-		s.env.Disk().Delete(s.resultKey(m.Task))
+		s.dropResultLog(m.Task)
 		s.discarded++
 	}
 }
@@ -418,7 +427,7 @@ func (s *Server) handleSyncReply(from proto.NodeID, m *proto.ServerSyncReply) {
 		delete(s.unacked, t)
 		delete(s.nextRetry, t)
 		delete(s.attempts, t)
-		s.env.Disk().Delete(s.resultKey(t))
+		s.dropResultLog(t)
 	}
 	for _, t := range m.Resend {
 		if res, ok := s.unacked[t]; ok {

@@ -435,7 +435,10 @@ func (d *MemDisk) Read(key string) ([]byte, bool) {
 }
 
 // Delete implements node.Disk.
-func (d *MemDisk) Delete(key string) { delete(d.data, key) }
+func (d *MemDisk) Delete(key string) error {
+	delete(d.data, key)
+	return nil
+}
 
 // Keys implements node.Disk.
 func (d *MemDisk) Keys(prefix string) []string {

@@ -1,0 +1,186 @@
+package store
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Files maps each key to one file whose name is the hex encoding of
+// the key (keys contain '/' and other filesystem-hostile characters).
+// Writes are synced: the store is the message log, and pessimistic
+// logging is only pessimistic if the bytes actually hit the platter.
+//
+// Durability is strictly per-operation — every Write costs a file
+// fsync plus a parent-directory fsync, every Delete a directory fsync
+// — which is what the wal engine's group commit amortizes away.
+type Files struct {
+	dir string
+	mu  sync.Mutex
+}
+
+var _ Store = (*Files)(nil)
+
+// OpenFiles opens (creating if needed) a files-engine store rooted at
+// dir. It refuses a directory holding wal-engine data: reinterpreting
+// segments as an empty key set would look like data loss to a
+// recovering node.
+func OpenFiles(dir string) (*Files, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := refuseForeign(dir, "files", isWALFile); err != nil {
+		return nil, err
+	}
+	return &Files{dir: dir}, nil
+}
+
+// isWALFile recognizes the wal engine's on-disk artifacts.
+func isWALFile(name string) bool {
+	return (strings.HasPrefix(name, segPrefix) && strings.HasSuffix(name, segSuffix)) ||
+		(strings.HasPrefix(name, snapPrefix) && strings.HasSuffix(name, snapSuffix))
+}
+
+// isFilesFile recognizes the files engine's per-key layout.
+func isFilesFile(name string) bool {
+	if !strings.HasSuffix(name, ".log") {
+		return false
+	}
+	_, err := hex.DecodeString(strings.TrimSuffix(name, ".log"))
+	return err == nil
+}
+
+// refuseForeign errors when dir contains files matched by foreign —
+// another engine's data that opening under this engine would shadow.
+func refuseForeign(dir, engine string, foreign func(name string) bool) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if foreign(e.Name()) {
+			return fmt.Errorf("store: %s holds another engine's data (%s); refusing to open it as %q", dir, e.Name(), engine)
+		}
+	}
+	return nil
+}
+
+func (d *Files) path(key string) string {
+	return filepath.Join(d.dir, hex.EncodeToString([]byte(key))+".log")
+}
+
+// Write implements Store.
+func (d *Files) Write(key string, value []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	tmp := d.path(key) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(value); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, d.path(key)); err != nil {
+		return err
+	}
+	// The rename is only durable once the directory entry itself is on
+	// disk: a crash between the rename and the directory fsync can
+	// lose the key or resurrect the old value, and pessimistic logging
+	// is only pessimistic if it never depends on that luck.
+	return syncDir(d.dir)
+}
+
+// WriteAsync implements Store: the files engine has no batching, so
+// the write completes synchronously at full per-operation cost.
+func (d *Files) WriteAsync(key string, value []byte, done func(error)) {
+	err := d.Write(key, value)
+	if done != nil {
+		done(err)
+	}
+}
+
+// syncDir fsyncs a directory, making a preceding rename inside it
+// crash-durable. A variable so tests can observe the calls.
+var syncDir = func(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// Read implements Store.
+func (d *Files) Read(key string) ([]byte, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	data, err := os.ReadFile(d.path(key))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// Delete implements Store.
+func (d *Files) Delete(key string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := os.Remove(d.path(key)); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil // deleting an absent key is a no-op
+		}
+		return err
+	}
+	// Same durability rule as Write: an unsynced directory can
+	// resurrect the deleted key after a crash, replaying a record the
+	// log already truncated.
+	return syncDir(d.dir)
+}
+
+// Keys implements Store.
+func (d *Files) Keys(prefix string) []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil
+	}
+	var keys []string
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		raw, err := hex.DecodeString(strings.TrimSuffix(name, ".log"))
+		if err != nil {
+			continue
+		}
+		key := string(raw)
+		if strings.HasPrefix(key, prefix) {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Sync implements Store (every operation is already durable on return).
+func (d *Files) Sync() error { return nil }
+
+// Close implements Store.
+func (d *Files) Close() error { return nil }

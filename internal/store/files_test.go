@@ -1,0 +1,173 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestFilesWriteSyncsDirectory is the durability regression test:
+// Files.Write once synced the file but never the parent directory, so
+// a crash right after the rename could lose it — the message log's
+// pessimistic guarantee hinged on filesystem luck.
+func TestFilesWriteSyncsDirectory(t *testing.T) {
+	var (
+		mu     sync.Mutex
+		synced []string
+	)
+	orig := syncDir
+	syncDir = func(dir string) error {
+		mu.Lock()
+		synced = append(synced, dir)
+		mu.Unlock()
+		return orig(dir)
+	}
+	defer func() { syncDir = orig }()
+
+	dir := t.TempDir()
+	d, err := OpenFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write("msglog/1", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	count := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, s := range synced {
+			if s != dir {
+				t.Fatalf("synced %q, want %q", s, dir)
+			}
+		}
+		return len(synced)
+	}
+	if count() == 0 {
+		t.Fatal("Write never fsynced the directory after the rename")
+	}
+	if v, ok := d.Read("msglog/1"); !ok || string(v) != "payload" {
+		t.Fatalf("read back = %q, %v", v, ok)
+	}
+	// Delete has the same crash-resurrection hazard as Write's rename.
+	before := count()
+	if err := d.Delete("msglog/1"); err != nil {
+		t.Fatal(err)
+	}
+	if count() <= before {
+		t.Fatal("Delete never fsynced the directory after the remove")
+	}
+	if _, ok := d.Read("msglog/1"); ok {
+		t.Fatal("delete ineffective")
+	}
+	// Deleting an absent key stays a no-op, now with an error return.
+	if err := d.Delete("msglog/absent"); err != nil {
+		t.Fatalf("delete absent: %v", err)
+	}
+}
+
+// TestFilesRoundTrip exercises the basic contract through the registry.
+func TestFilesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open("", dir) // empty engine name = the legacy default
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.(*Files); !ok {
+		t.Fatalf("default engine = %T, want *Files", st)
+	}
+	if err := st.Write("a/1", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Write("a/2", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Write("b/1", []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Keys("a/"); len(got) != 2 || got[0] != "a/1" || got[1] != "a/2" {
+		t.Fatalf("Keys(a/) = %v", got)
+	}
+	done := make(chan error, 1)
+	st.WriteAsync("a/3", []byte("w"), func(err error) { done <- err })
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := st.Read("a/3"); !ok || string(v) != "w" {
+		t.Fatalf("async write not readable: %q %v", v, ok)
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen sees everything (files are the store).
+	st2, err := Open("files", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st2.Keys(""); len(got) != 4 {
+		t.Fatalf("reopened Keys = %v", got)
+	}
+}
+
+// TestFilesRefusesWALDirectory pins the mixed-directory guard: a
+// files-engine Open of a directory holding wal segments must fail
+// cleanly instead of presenting an empty store.
+func TestFilesRefusesWALDirectory(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFiles(dir); err == nil {
+		t.Fatal("OpenFiles accepted a wal directory")
+	}
+}
+
+// TestOpenUnknownEngine pins the registry error path.
+func TestOpenUnknownEngine(t *testing.T) {
+	if _, err := Open("mysql", t.TempDir()); err == nil {
+		t.Fatal("Open accepted an unknown engine")
+	}
+}
+
+// TestEnginesRegistered pins the shipped engine set.
+func TestEnginesRegistered(t *testing.T) {
+	got := Engines()
+	want := []string{"files", "memory", "wal"}
+	if len(got) != len(want) {
+		t.Fatalf("Engines() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Engines() = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestFilesIgnoresStrayFiles checks Keys skips non-engine files.
+func TestFilesIgnoresStrayFiles(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Keys(""); len(got) != 1 || got[0] != "k" {
+		t.Fatalf("Keys = %v", got)
+	}
+}
