@@ -7,11 +7,12 @@
 #   make sched      print the scheduling-policy + work-stealing tables
 #   make transport  print the pooled-vs-legacy transport table
 #   make store      print the durable-store (wal vs files) table
-#   make race       race-detect the real runtime and the store engines
+#   make wire       run the codec micro-benchmark (binary vs gob)
+#   make race       race-detect the runtime, store engines and codec
 
 GO ?= go
 
-.PHONY: all vet build test bench smoke shard sched transport store race ci
+.PHONY: all vet build test bench smoke shard sched transport store wire race ci
 
 all: vet build test
 
@@ -25,13 +26,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/rt/... ./internal/store/...
+	$(GO) test -race ./internal/rt/... ./internal/store/... ./internal/proto/...
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
 smoke:
-	$(GO) test -short -run '^$$' -bench 'BenchmarkFig4MessageLogging|BenchmarkShardScale|BenchmarkTransportCompare|BenchmarkLogStoreCompare' -benchtime 1x .
+	$(GO) test -short -run '^$$' -bench 'BenchmarkFig4MessageLogging|BenchmarkShardScale|BenchmarkTransportCompare|BenchmarkLogStoreCompare|BenchmarkCodec' -benchtime 1x .
 
 shard:
 	$(GO) run ./cmd/rpcv-bench -fig shard-scale -quick
@@ -44,5 +45,8 @@ transport:
 
 store:
 	$(GO) run ./cmd/rpcv-bench -fig log-store-compare -quick
+
+wire:
+	$(GO) test -run '^$$' -bench BenchmarkCodec -benchmem .
 
 ci: vet build test race smoke

@@ -11,6 +11,10 @@
 // group-commit write-ahead log that batches concurrent submissions'
 // log entries into shared fsyncs).
 //
+// -wire selects the codec for connections and the message log:
+// "binary" (default) or "gob" when talking to pre-binary
+// coordinators. Receiving and log recovery auto-detect either codec.
+//
 // The client tags every submission with a (user, session, rpc) unique
 // ID and logs it per the chosen strategy; re-running with the same
 // -user and -session retrieves results of a previous (possibly
@@ -47,6 +51,7 @@ func main() {
 	shardMap := flag.String("shardmap", "", "consistent-hash shard topology (same syntax as rpcv-coordinator); empty: unsharded")
 	shardVersion := flag.Uint64("shardversion", 1, "cached shard map version")
 	legacyTransport := flag.Bool("legacy-transport", false, "use the paper's connection-per-message transport instead of pooled connections")
+	wire := flag.String("wire", "binary", "wire/storage codec: binary | gob (send gob to pre-binary coordinators; receiving auto-detects)")
 	flag.Parse()
 
 	dirMap, _, err := shared.ParseDirectory(*coords)
@@ -89,6 +94,7 @@ func main() {
 		Logging:         strat,
 		Shard:           smap,
 		LegacyTransport: *legacyTransport,
+		Wire:            *wire,
 	})
 	if err != nil {
 		log.Fatalf("rpcv-client: %v", err)

@@ -13,6 +13,13 @@
 // per job record across concurrent submissions). An engine never opens
 // the other engine's directory.
 //
+// -wire selects the codec for outgoing connections and persisted job
+// records: "binary" (default, the zero-allocation length-prefixed
+// codec) or "gob" when this coordinator must send to pre-binary peers.
+// Receiving and database recovery auto-detect either codec, so a
+// mixed cluster interoperates and a WAL written by a gob build
+// recovers under the binary default.
+//
 // Peers are fellow coordinators forming the passive-replication ring.
 // Clients and servers reach this coordinator at the listen address; the
 // daemon learns their reply addresses from the directory flags of those
@@ -56,6 +63,7 @@ func main() {
 	speculate := flag.Float64("speculate", 0, "speculative policy's straggler threshold factor k (0: default)")
 	steal := flag.Bool("steal", false, "enable cross-shard work stealing (sharded deployments)")
 	legacyTransport := flag.Bool("legacy-transport", false, "use the paper's connection-per-message transport instead of pooled connections")
+	wire := flag.String("wire", proto.WireBinary, "wire/storage codec: binary | gob (send gob to pre-binary peers; receiving auto-detects)")
 	queueDepth := flag.Int("send-queue", 0, "pooled transport per-peer send queue depth (0: default 128)")
 	idleTimeout := flag.Duration("idle-timeout", 0, "pooled transport connection idle timeout (0: default 30s)")
 	maxInbound := flag.Int("max-inbound", 0, "max concurrent inbound connections before shedding (0: default 256)")
@@ -63,6 +71,10 @@ func main() {
 
 	if _, err := sched.New(sched.Config{Policy: *policy}); err != nil {
 		log.Fatalf("rpcv-coordinator: -policy: %v", err)
+	}
+	wireCodec, err := proto.ParseWire(*wire)
+	if err != nil {
+		log.Fatalf("rpcv-coordinator: -wire: %v", err)
 	}
 
 	dir, coordIDs, err := shared.ParseDirectory(*peers)
@@ -120,6 +132,7 @@ func main() {
 		OnJobFinished: func(call proto.CallID, at time.Time) {
 			log.Printf("finished %s at %s", call, at.Format(time.RFC3339))
 		},
+		Codec: proto.CodecForWire(wireCodec),
 	})
 
 	rtm, err := rt.Start(rt.Config{
@@ -130,6 +143,7 @@ func main() {
 		Store:           *storeEngine,
 		Handler:         co,
 		LegacyTransport: *legacyTransport,
+		Wire:            wireCodec,
 		QueueDepth:      *queueDepth,
 		IdleTimeout:     *idleTimeout,
 		MaxInboundConns: *maxInbound,

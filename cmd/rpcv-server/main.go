@@ -10,6 +10,12 @@
 // legacy per-key layout and default, or "wal", the group-commit
 // write-ahead log); an engine never opens the other's directory.
 //
+// -wire selects the codec for outgoing connections and the result log:
+// "binary" (default, the zero-allocation length-prefixed codec) or
+// "gob" when this worker must send to pre-binary peers. Receiving and
+// log recovery auto-detect either codec, so mixed clusters and old
+// logs just work.
+//
 // The worker pulls tasks from its preferred coordinator with 5-second
 // heartbeats, executes the built-in demo services (echo, upper,
 // reverse, sum, sleep) or synthetic timed tasks, durably logs result
@@ -45,10 +51,16 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", 5*time.Second, "heartbeat period")
 	timeout := flag.Duration("timeout", 30*time.Second, "coordinator suspicion timeout")
 	legacyTransport := flag.Bool("legacy-transport", false, "use the paper's connection-per-message transport instead of pooled connections")
+	wire := flag.String("wire", proto.WireBinary, "wire/storage codec: binary | gob (send gob to pre-binary peers; receiving auto-detects)")
 	queueDepth := flag.Int("send-queue", 0, "pooled transport per-peer send queue depth (0: default 128)")
 	idleTimeout := flag.Duration("idle-timeout", 0, "pooled transport connection idle timeout (0: default 30s)")
 	maxInbound := flag.Int("max-inbound", 0, "max concurrent inbound connections before shedding (0: default 256)")
 	flag.Parse()
+
+	wireCodec, err := proto.ParseWire(*wire)
+	if err != nil {
+		log.Fatalf("rpcv-server: -wire: %v", err)
+	}
 
 	dir, coordIDs, err := shared.ParseDirectory(*coords)
 	if err != nil || len(coordIDs) == 0 {
@@ -64,6 +76,7 @@ func main() {
 		OnTaskDone: func(task proto.TaskID, at time.Time) {
 			log.Printf("executed %s", task)
 		},
+		Codec: proto.CodecForWire(wireCodec),
 	})
 
 	rtm, err := rt.Start(rt.Config{
@@ -74,6 +87,7 @@ func main() {
 		Store:           *storeEngine,
 		Handler:         sv,
 		LegacyTransport: *legacyTransport,
+		Wire:            wireCodec,
 		QueueDepth:      *queueDepth,
 		IdleTimeout:     *idleTimeout,
 		MaxInboundConns: *maxInbound,

@@ -59,9 +59,20 @@
 // loudly, and connection breaks are never fault signals; heartbeat
 // timeouts remain the only suspicion source. The -legacy-transport
 // flag (rt.Config.LegacyTransport) restores one-message-per-connection
-// wire behaviour, which stays compatible: the read side decodes a gob
-// envelope stream until EOF. Measured by the transport-compare
-// experiment under a Poisson server kill/restart load.
+// wire behaviour. Measured by the transport-compare experiment under a
+// Poisson server kill/restart load.
+//
+// internal/proto owns the wire format itself: a hand-written binary
+// codec (the default) with explicit encodings for all 24 message
+// kinds plus JobRecord — length-prefixed frames behind a magic
+// version preface, pooled encode buffers sized by the WireSize hints,
+// a reusable in-place frame decoder with string interning, ≤1
+// allocation per encode or decode (BenchmarkCodec; make wire). The
+// -wire flag (rt.Config.Wire, gridrpc.Config.Wire) selects what a
+// node sends ("binary" or "gob" for pre-binary peers); receivers
+// auto-detect per connection, and storage decoding auto-detects per
+// blob, so mixed clusters interoperate and gob-era WALs and logs
+// recover under the binary build.
 //
 // See README.md for the package tour and the shard/sched subsystem
 // overviews. The benchmarks in bench_test.go regenerate each figure;

@@ -82,6 +82,11 @@ type Config struct {
 	// the shard-scaling experiment reports sync latency per shard
 	// count).
 	OnSyncReply func(rtt time.Duration)
+
+	// Codec selects the encoding of durably logged submissions. The
+	// zero value is the binary codec; recovery auto-detects, so a log
+	// written under either codec replays under either.
+	Codec proto.Codec
 }
 
 func (c *Config) applyDefaults() {
@@ -236,12 +241,13 @@ func (c *Client) Stop() {
 }
 
 func (c *Client) recoverFromLog() {
+	var dec proto.Decoder // one decoder: recovery interns repeated IDs
 	for _, key := range c.log.Keys() {
 		raw, ok := c.log.Get(key)
 		if !ok {
 			continue
 		}
-		msg, err := proto.DecodeMessage(raw)
+		msg, err := dec.DecodeMessage(raw)
 		if err != nil {
 			c.env.Logf("client: corrupt log entry %s: %v", key, err)
 			continue
@@ -355,7 +361,7 @@ func (c *Client) sendSubmit(cl *call) {
 	seq := cl.submit.Call.Seq
 	entry := msglog.Entry{
 		Key:  fmt.Sprintf("%020d", seq),
-		Data: proto.EncodeMessage(cl.submit),
+		Data: c.cfg.Codec.EncodeMessage(cl.submit),
 	}
 	c.log.LogAndSend(c.pref, cl.submit, entry, func() {
 		cl.logDone = true

@@ -78,6 +78,12 @@ type Config struct {
 	// figures 9-11 plot exactly this counter over time).
 	OnJobFinished func(call proto.CallID, at time.Time)
 
+	// Codec selects the encoding of persisted job records. The zero
+	// value is the binary codec; loadStore auto-detects, so a database
+	// written under either codec (or by a pre-binary build) recovers
+	// under either.
+	Codec proto.Codec
+
 	// Shard, when non-nil and describing more than one ring, places
 	// this coordinator in the sharded coordination layer: sessions
 	// hashing to a foreign shard are redirected (ShardRedirect) instead
@@ -413,12 +419,13 @@ func (c *Coordinator) loadEpoch() {
 }
 
 func (c *Coordinator) loadStore() {
+	var dec proto.Decoder // one decoder: recovery interns repeated IDs
 	for _, key := range c.env.Disk().Keys("coord/job/") {
 		raw, ok := c.env.Disk().Read(key)
 		if !ok {
 			continue
 		}
-		rec, err := proto.DecodeJob(raw)
+		rec, err := dec.DecodeJob(raw)
 		if err != nil {
 			c.env.Logf("coordinator: corrupt job record %s: %v", key, err)
 			continue
@@ -442,7 +449,7 @@ func (c *Coordinator) loadStore() {
 
 func (c *Coordinator) persistJob(rec *proto.JobRecord) {
 	key := "coord/job/" + rec.Call.String()
-	if err := c.env.Disk().Write(key, proto.EncodeJob(rec)); err != nil {
+	if err := c.env.Disk().Write(key, c.cfg.Codec.EncodeJob(rec)); err != nil {
 		c.env.Logf("coordinator: persist job %s: %v", rec.Call, err)
 	}
 }

@@ -373,24 +373,30 @@ func TestTransportComparePooledBeatsLegacy(t *testing.T) {
 		r := TransportCompare(Options{Seed: 2004 + int64(attempt), Quick: true})
 		dump(t, r)
 		tb := r.Tables[0]
-		if tb.Rows() != 2 {
-			t.Fatalf("rows = %d, want per-message and pooled", tb.Rows())
+		if tb.Rows() != 3 {
+			t.Fatalf("rows = %d, want per-message/gob, pooled/gob and pooled/binary", tb.Rows())
 		}
-		legacyTp := parseFloatCell(t, tb.Cell(0, 1))
-		pooledTp := parseFloatCell(t, tb.Cell(1, 1))
-		legacyP99 := parseDur(t, tb.Cell(0, 3))
-		pooledP99 := parseDur(t, tb.Cell(1, 3))
-		legacyAcked, pooledAcked := tb.Cell(0, 4), tb.Cell(1, 4)
+		legacyTp := parseFloatCell(t, tb.Cell(0, 2))
+		gobTp := parseFloatCell(t, tb.Cell(1, 2))
+		binTp := parseFloatCell(t, tb.Cell(2, 2))
+		legacyP99 := parseDur(t, tb.Cell(0, 4))
+		gobP99 := parseDur(t, tb.Cell(1, 4))
+		binP99 := parseDur(t, tb.Cell(2, 4))
+		legacyAcked, gobAcked, binAcked := tb.Cell(0, 5), tb.Cell(1, 5), tb.Cell(2, 5)
 		// An acked mismatch on a loaded machine is the 60 s watchdog
 		// truncating a run, not a protocol bug — retryable like the
-		// performance shape, not fatal.
-		if legacyAcked == pooledAcked && legacyAcked != "0" &&
-			pooledTp > legacyTp && pooledP99 <= legacyP99 {
+		// performance shape, not fatal. Both pooled codecs must beat
+		// the per-message baseline; binary-vs-gob is reported (its
+		// advantage is codec CPU, which this coordination-bound
+		// miniature grid does not always expose above noise).
+		if legacyAcked == gobAcked && legacyAcked == binAcked && legacyAcked != "0" &&
+			gobTp > legacyTp && gobP99 <= legacyP99 &&
+			binTp > legacyTp && binP99 <= legacyP99 {
 			return
 		}
 		failure = fmt.Sprintf(
-			"pooled %.3g submits/s p99 %v acked %s vs per-message %.3g submits/s p99 %v acked %s",
-			pooledTp, pooledP99, pooledAcked, legacyTp, legacyP99, legacyAcked)
+			"pooled/gob %.3g submits/s p99 %v acked %s, pooled/binary %.3g submits/s p99 %v acked %s vs per-message %.3g submits/s p99 %v acked %s",
+			gobTp, gobP99, gobAcked, binTp, binP99, binAcked, legacyTp, legacyP99, legacyAcked)
 	}
 	t.Errorf("pooled transport did not beat per-message: %s", failure)
 }
@@ -407,20 +413,26 @@ func TestLogStoreCompareWALBeatsFiles(t *testing.T) {
 		r := LogStoreCompare(Options{Seed: 2004 + int64(attempt), Quick: true})
 		dump(t, r)
 		tb := r.Tables[0]
-		if tb.Rows() != 2 {
-			t.Fatalf("rows = %d, want files and wal", tb.Rows())
+		if tb.Rows() != 3 {
+			t.Fatalf("rows = %d, want files/binary, wal/gob and wal/binary", tb.Rows())
 		}
-		filesTp := parseFloatCell(t, tb.Cell(0, 1))
-		walTp := parseFloatCell(t, tb.Cell(1, 1))
-		filesAcked, walAcked := tb.Cell(0, 4), tb.Cell(1, 4)
+		filesTp := parseFloatCell(t, tb.Cell(0, 2))
+		walGobTp := parseFloatCell(t, tb.Cell(1, 2))
+		walTp := parseFloatCell(t, tb.Cell(2, 2))
+		filesAcked, walGobAcked, walAcked := tb.Cell(0, 5), tb.Cell(1, 5), tb.Cell(2, 5)
 		// An acked mismatch on a loaded machine is the watchdog
 		// truncating a run, not a durability bug — retryable like the
-		// performance shape, not fatal.
-		if filesAcked == walAcked && filesAcked != "0" && walTp >= 2*filesTp {
+		// performance shape, not fatal. The headline claim is the wal
+		// engine on the default binary codec versus the files engine;
+		// the wal/gob row isolates the codec's contribution and is
+		// reported, not gated (fsync timing dominates it on fast
+		// disks).
+		if filesAcked == walAcked && filesAcked == walGobAcked && filesAcked != "0" &&
+			walTp >= 2*filesTp {
 			return
 		}
-		failure = fmt.Sprintf("wal %.3g submits/s acked %s vs files %.3g submits/s acked %s (want ≥2x, equal acked)",
-			walTp, walAcked, filesTp, filesAcked)
+		failure = fmt.Sprintf("wal/binary %.3g submits/s acked %s, wal/gob %.3g submits/s acked %s vs files %.3g submits/s acked %s (want ≥2x, equal acked)",
+			walTp, walAcked, walGobTp, walGobAcked, filesTp, filesAcked)
 	}
 	t.Errorf("wal engine did not deliver its speedup: %s", failure)
 }

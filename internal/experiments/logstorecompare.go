@@ -33,9 +33,12 @@ import (
 // fsync + rename + parent-directory fsync. The "wal" engine group-
 // commits: concurrent entries staged on one node share a single
 // append+fsync, so blocking-pessimistic submission approaches
-// optimistic cost without giving up durability-before-send. The acked
-// column must match the target on both engines — identical delivery,
-// cheaper durability.
+// optimistic cost without giving up durability-before-send. The codec
+// dimension compares what goes INTO those writes: gob re-runs
+// reflection and allocates an encoder per record, the binary codec
+// appends a smaller, exactly-sized record — shrinking WAL payloads
+// raises group-commit batch density. The acked column must match the
+// target on every row — identical delivery, cheaper durability.
 func LogStoreCompare(opts Options) Result {
 	opts.applyDefaults()
 	calls := 600
@@ -44,16 +47,26 @@ func LogStoreCompare(opts Options) Result {
 	}
 	table := metrics.NewTable(
 		"Durable-store comparison: blocking-pessimistic logging under Poisson server kill/restart (1 coordinator, 4 servers, 2 clients, real TCP loopback, real disks)",
-		"store", "submits/s", "p50-submit", "p99-submit", "acked")
+		"store", "codec", "submits/s", "p50-submit", "p99-submit", "acked")
 	var throughputs []float64
-	for _, engine := range []string{"files", "wal"} {
-		r := logStoreRun(opts.Seed, engine, calls)
-		table.AddRow(engine, r.throughput, r.lat.P50(), r.lat.P99(), r.acked)
+	for _, c := range []struct {
+		engine string
+		codec  proto.Codec
+	}{
+		{"files", proto.CodecBinary},
+		{"wal", proto.CodecGob}, // PR 4's engine, pre-binary codec
+		{"wal", proto.CodecBinary},
+	} {
+		r := logStoreRun(opts.Seed, c.engine, c.codec, calls)
+		table.AddRow(c.engine, c.codec.String(), r.throughput, r.lat.P50(), r.lat.P99(), r.acked)
 		throughputs = append(throughputs, r.throughput)
 	}
-	ratio := metrics.NewTable("wal speedup over files (blocking-pessimistic submission)", "metric", "value")
+	ratio := metrics.NewTable("speedups (blocking-pessimistic submission)", "metric", "value")
 	if throughputs[0] > 0 {
-		ratio.AddRow("throughput-ratio", fmt.Sprintf("%.2fx", throughputs[1]/throughputs[0]))
+		ratio.AddRow("wal-over-files", fmt.Sprintf("%.2fx", throughputs[2]/throughputs[0]))
+	}
+	if throughputs[1] > 0 {
+		ratio.AddRow("binary-over-gob", fmt.Sprintf("%.2fx", throughputs[2]/throughputs[1]))
 	}
 	return Result{Name: "log-store-compare", Tables: []*metrics.Table{table, ratio}}
 }
@@ -65,8 +78,9 @@ type logStoreRunResult struct {
 	acked      int
 }
 
-// logStoreRun drives one full grid run on the chosen store engine.
-func logStoreRun(seed int64, engine string, calls int) logStoreRunResult {
+// logStoreRun drives one full grid run on the chosen store engine and
+// storage codec.
+func logStoreRun(seed int64, engine string, codec proto.Codec, calls int) logStoreRunResult {
 	const (
 		nClients = 2
 		nServers = 4
@@ -94,6 +108,7 @@ func logStoreRun(seed int64, engine string, calls int) logStoreRunResult {
 		HeartbeatPeriod:  beat,
 		HeartbeatTimeout: suspect,
 		DBCost:           db.CostModel{PerOp: 50 * time.Microsecond},
+		Codec:            codec,
 	})
 	rco, err := rt.Start(rtCfg("co", co, nil))
 	if err != nil {
@@ -110,6 +125,7 @@ func logStoreRun(seed int64, engine string, calls int) logStoreRunResult {
 			HeartbeatPeriod:  beat,
 			SuspicionTimeout: suspect,
 			Services:         services,
+			Codec:            codec,
 		})
 	}
 	type serverSlot struct {
@@ -153,6 +169,7 @@ func logStoreRun(seed int64, engine string, calls int) logStoreRunResult {
 			SuspicionTimeout: suspect,
 			Logging:          msglog.BlockingPessimistic,
 			Disk:             msglog.InstantDisk(), // real store owns the timing
+			Codec:            codec,
 			OnSubmitComplete: func(_ proto.RPCSeq, issued, completed time.Time) {
 				measMu.Lock()
 				res.lat.Add(completed.Sub(issued))

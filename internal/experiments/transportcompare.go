@@ -18,11 +18,14 @@ import (
 	"rpcv/internal/server"
 )
 
-// TransportCompare races the real TCP runtime's two transports on
-// loopback: the paper's connection-per-message transport (every send
-// dials, writes one envelope with a fresh gob type-descriptor
-// handshake, and closes) against the pooled persistent-connection
-// transport (per-peer sender, coalesced flushes, redial with backoff).
+// TransportCompare races the real TCP runtime's transports and wire
+// codecs on loopback: the paper's connection-per-message transport
+// (every send dials, writes one envelope with a fresh gob
+// type-descriptor handshake, and closes) against the pooled
+// persistent-connection transport (per-peer sender, coalesced flushes,
+// redial with backoff), and on the pooled transport the legacy gob
+// codec against the hand-written binary codec (length-prefixed frames,
+// no reflection, no per-message allocation).
 //
 // Unlike every other experiment this one runs on the wall clock and
 // real sockets — the transport is exactly what the simulator
@@ -33,7 +36,7 @@ import (
 // submit throughput (acknowledgements per second) and submit latency
 // quantiles; the acked column proves zero delivery regressions
 // (heartbeat-timeout fault detection, not connection breaks, still
-// drives all recovery on both transports).
+// drives all recovery on every transport/codec combination).
 func TransportCompare(opts Options) Result {
 	opts.applyDefaults()
 	calls := 600
@@ -42,14 +45,18 @@ func TransportCompare(opts Options) Result {
 	}
 	table := metrics.NewTable(
 		"Transport comparison: sustained submission under Poisson server kill/restart (1 coordinator, 4 servers, 2 clients, real TCP loopback)",
-		"transport", "submits/s", "p50-submit", "p99-submit", "acked", "coalescing", "sheds")
-	for _, legacy := range []bool{true, false} {
-		name := "pooled"
-		if legacy {
-			name = "per-message"
-		}
-		r := transportRun(opts.Seed, legacy, calls)
-		table.AddRow(name, r.throughput, r.lat.P50(), r.lat.P99(),
+		"transport", "codec", "submits/s", "p50-submit", "p99-submit", "acked", "coalescing", "sheds")
+	for _, c := range []struct {
+		name   string
+		legacy bool
+		wire   string
+	}{
+		{"per-message", true, proto.WireGob}, // the paper's literal baseline
+		{"pooled", false, proto.WireGob},     // PR 3's transport, pre-binary codec
+		{"pooled", false, proto.WireBinary},  // the default
+	} {
+		r := transportRun(opts.Seed, c.legacy, c.wire, calls)
+		table.AddRow(c.name, c.wire, r.throughput, r.lat.P50(), r.lat.P99(),
 			r.acked, fmt.Sprintf("%.1fx", r.coalescing), r.sheds)
 	}
 	return Result{Name: "transport-compare", Tables: []*metrics.Table{table}}
@@ -64,8 +71,9 @@ type transportRunResult struct {
 	sheds      uint64
 }
 
-// transportRun drives one full grid run on the chosen transport.
-func transportRun(seed int64, legacy bool, calls int) transportRunResult {
+// transportRun drives one full grid run on the chosen transport and
+// wire codec.
+func transportRun(seed int64, legacy bool, wire string, calls int) transportRunResult {
 	const (
 		nClients = 2
 		nServers = 4
@@ -78,14 +86,16 @@ func transportRun(seed int64, legacy bool, calls int) transportRunResult {
 	quiet := func(string, ...any) {}
 	rtCfg := func(id proto.NodeID, h node.Handler, dir rt.Directory) rt.Config {
 		return rt.Config{ID: id, ListenAddr: "127.0.0.1:0", Handler: h,
-			Directory: dir, Logf: quiet, LegacyTransport: legacy}
+			Directory: dir, Logf: quiet, LegacyTransport: legacy, Wire: wire}
 	}
+	codec := proto.CodecForWire(wire)
 
 	co := coordinator.New(coordinator.Config{
 		Coordinators:     []proto.NodeID{"co"},
 		HeartbeatPeriod:  beat,
 		HeartbeatTimeout: suspect,
 		DBCost:           db.CostModel{PerOp: 50 * time.Microsecond},
+		Codec:            codec,
 	})
 	rco, err := rt.Start(rtCfg("co", co, nil))
 	if err != nil {
@@ -102,6 +112,7 @@ func transportRun(seed int64, legacy bool, calls int) transportRunResult {
 			HeartbeatPeriod:  beat,
 			SuspicionTimeout: suspect,
 			Services:         services,
+			Codec:            codec,
 		})
 	}
 	type serverSlot struct {
@@ -145,6 +156,7 @@ func transportRun(seed int64, legacy bool, calls int) transportRunResult {
 			SuspicionTimeout: suspect,
 			Logging:          msglog.NonBlockingPessimistic,
 			Disk:             msglog.InstantDisk(),
+			Codec:            codec,
 			OnSubmitComplete: func(_ proto.RPCSeq, issued, completed time.Time) {
 				measMu.Lock()
 				res.lat.Add(completed.Sub(issued))

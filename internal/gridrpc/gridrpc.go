@@ -80,6 +80,11 @@ type Config struct {
 	// connection-per-message transport (see rt.Config.LegacyTransport)
 	// — the escape hatch when talking to pre-pooling binaries.
 	LegacyTransport bool
+	// Wire selects the codec the session's connections and message log
+	// use: "binary" (default) or "gob" (interop with pre-binary
+	// coordinators; see rt.Config.Wire). Receiving and log recovery
+	// auto-detect either codec regardless.
+	Wire string
 	// Shard is the cached consistent-hash shard map of a sharded
 	// deployment (nil: unsharded). The session routes to its owner ring
 	// and follows redirects carrying newer maps automatically.
@@ -169,6 +174,11 @@ func Dial(cfg Config) (*Session, error) {
 		dir[proto.NodeID(id)] = addr
 	}
 
+	wire, err := proto.ParseWire(cfg.Wire)
+	if err != nil {
+		return nil, fmt.Errorf("gridrpc: %w", err)
+	}
+
 	s.cli = client.New(client.Config{
 		User:             proto.UserID(cfg.User),
 		Session:          proto.SessionID(cfg.Session),
@@ -178,6 +188,7 @@ func Dial(cfg Config) (*Session, error) {
 		Logging:          cfg.Logging,
 		Shard:            cfg.Shard,
 		OnResult:         s.onResult,
+		Codec:            proto.CodecForWire(wire),
 	})
 
 	id := proto.NodeID(fmt.Sprintf("client-%s-%d", cfg.User, cfg.Session))
@@ -190,6 +201,7 @@ func Dial(cfg Config) (*Session, error) {
 		Handler:         s.cli,
 		Logf:            logf,
 		LegacyTransport: cfg.LegacyTransport,
+		Wire:            wire,
 	})
 	if err != nil {
 		return nil, err

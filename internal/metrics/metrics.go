@@ -19,10 +19,17 @@ import (
 // Sample accumulates duration observations.
 type Sample struct {
 	values []time.Duration
+	// sorted caches the ascending copy Quantile works on, so a
+	// p50/p95/p99 report pays one sort instead of one per quantile.
+	// Add invalidates it.
+	sorted []time.Duration
 }
 
 // Add appends one observation.
-func (s *Sample) Add(d time.Duration) { s.values = append(s.values, d) }
+func (s *Sample) Add(d time.Duration) {
+	s.values = append(s.values, d)
+	s.sorted = nil
+}
 
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.values) }
@@ -67,21 +74,25 @@ func (s *Sample) Max() time.Duration {
 	return max
 }
 
-// Quantile returns the q-quantile (0 <= q <= 1) by nearest rank.
+// Quantile returns the q-quantile (0 <= q <= 1) by nearest rank. The
+// first call after an Add copies and sorts the sample once; further
+// quantiles of the same snapshot reuse the cached order.
 func (s *Sample) Quantile(q float64) time.Duration {
 	if len(s.values) == 0 {
 		return 0
 	}
-	sorted := append([]time.Duration(nil), s.values...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(q * float64(len(sorted)-1))
+	if s.sorted == nil {
+		s.sorted = append([]time.Duration(nil), s.values...)
+		sort.Slice(s.sorted, func(i, j int) bool { return s.sorted[i] < s.sorted[j] })
+	}
+	idx := int(q * float64(len(s.sorted)-1))
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	if idx >= len(s.sorted) {
+		idx = len(s.sorted) - 1
 	}
-	return sorted[idx]
+	return s.sorted[idx]
 }
 
 // Sum returns the total of all observations.

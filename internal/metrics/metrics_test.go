@@ -334,3 +334,57 @@ func TestHistogramMergeDisjointRanges(t *testing.T) {
 		t.Fatalf("merge into empty: n=%d min=%v max=%v", empty.N(), empty.Quantile(0), empty.Max())
 	}
 }
+
+// TestSampleQuantileCacheInvalidation pins the sorted-slice cache:
+// quantiles computed after an Add must see the new observation (the
+// cache is invalidated), and interleaved quantile calls must agree
+// with a freshly built sample (the cache never reorders or drops).
+func TestSampleQuantileCacheInvalidation(t *testing.T) {
+	var s Sample
+	s.Add(30 * time.Millisecond)
+	s.Add(10 * time.Millisecond)
+	if got := s.Quantile(0); got != 10*time.Millisecond {
+		t.Fatalf("min quantile = %v, want 10ms", got)
+	}
+	// The cache is now warm; an Add must invalidate it.
+	s.Add(1 * time.Millisecond)
+	if got := s.Quantile(0); got != 1*time.Millisecond {
+		t.Fatalf("min quantile after Add = %v, want 1ms (stale cache?)", got)
+	}
+	if got := s.Quantile(1); got != 30*time.Millisecond {
+		t.Fatalf("max quantile = %v, want 30ms", got)
+	}
+	// A full p50/p95/p99 report off one snapshot agrees with a fresh
+	// sample holding the same values.
+	var fresh Sample
+	for _, v := range []time.Duration{30, 10, 1} {
+		fresh.Add(v * time.Millisecond)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got, want := s.Quantile(q), fresh.Quantile(q); got != want {
+			t.Fatalf("q=%v: cached %v, fresh %v", q, got, want)
+		}
+	}
+	// Values must stay untouched (Quantile sorts a copy, not values).
+	if s.values[0] != 30*time.Millisecond {
+		t.Fatalf("Quantile reordered the observation log: %v", s.values)
+	}
+}
+
+// BenchmarkSampleQuantileReport measures the experiment drivers' hot
+// reporting pattern — one Add, then a p50/p95/p99 report — which the
+// sorted-slice cache turns from three sorts into one.
+func BenchmarkSampleQuantileReport(b *testing.B) {
+	var s Sample
+	for i := 0; i < 10000; i++ {
+		s.Add(time.Duration(i*7919%10000) * time.Microsecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(time.Duration(i%10000) * time.Microsecond)
+		_ = s.Quantile(0.50)
+		_ = s.Quantile(0.95)
+		_ = s.Quantile(0.99)
+	}
+}

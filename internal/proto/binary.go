@@ -1,0 +1,733 @@
+package proto
+
+// The hand-written binary codec. Every registered message kind plus
+// JobRecord gets an explicit, field-by-field encoding built from a
+// handful of primitives: unsigned/zigzag varints, length-prefixed
+// strings and byte slices (with a +1 count scheme that preserves the
+// nil/empty distinction through a round trip), and a compact instant
+// encoding for time.Time (locations normalize to UTC; only the instant
+// is protocol-relevant). Unlike gob there is no reflection, no
+// per-stream type descriptor and no per-encode allocation: encoders
+// append into caller-supplied or pooled buffers sized by the WireSize
+// hints, and the reader decodes frames in place — byte slices are
+// copied out (the frame buffer is reused), strings are interned so the
+// small, endlessly repeated identifiers (node IDs, users, service
+// names) are allocated once per decoder, not once per message.
+//
+// Decoding is hardened for the fuzzer and for torn frames: every read
+// is bounds-checked against the remaining input through a sticky
+// error, declared lengths are validated against the bytes actually
+// present before any allocation, and trailing garbage after a complete
+// body is rejected. Garbage therefore produces an error, never a panic
+// and never an oversized allocation.
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"time"
+)
+
+// binMagic opens every binary encoding: the version preface of a
+// binary-framed connection, and the first byte of every binary storage
+// blob. The value is chosen from the range a gob stream can never start
+// with — gob's leading byte-count varint begins with 0x00..0x7F (small
+// counts) or 0xF8..0xFF (multi-byte counts) — so one byte suffices to
+// tell the two codecs apart on both the wire and the disk.
+const (
+	binMagic   = 0xBC
+	binVersion = 0x01
+)
+
+// MaxFrame bounds a single wire frame (and with it the decode buffer a
+// peer can make this node allocate). Larger messages should not exist:
+// the biggest legitimate payloads are result archives, well under this.
+const MaxFrame = 1 << 26 // 64 MiB
+
+// ErrCorrupt reports a malformed binary encoding: a truncated field, a
+// length exceeding the available bytes, a non-canonical bool, an
+// unknown message kind or trailing garbage.
+var ErrCorrupt = errors.New("proto: corrupt binary encoding")
+
+// Message kind bytes. Wire-stable: append new kinds, never renumber.
+const (
+	kindInvalid uint8 = iota
+	kindSubmit
+	kindSubmitAck
+	kindPoll
+	kindResults
+	kindSyncRequest
+	kindSyncReply
+	kindFetchResult
+	kindFetchReply
+	kindHeartbeat
+	kindHeartbeatAck
+	kindTaskResult
+	kindTaskResultAck
+	kindTaskCancel
+	kindServerSync
+	kindServerSyncReply
+	kindReplicaUpdate
+	kindReplicaAck
+	kindShardMapRequest
+	kindShardMapReply
+	kindShardRedirect
+	kindShardSync
+	kindShardSyncAck
+	kindStealRequest
+	kindStealGrant
+	kindJobRecord // storage blobs only; JobRecord is not a Message
+)
+
+// kindOf maps a message to its wire kind byte (0 when unregistered).
+func kindOf(msg Message) uint8 {
+	switch msg.(type) {
+	case *Submit:
+		return kindSubmit
+	case *SubmitAck:
+		return kindSubmitAck
+	case *Poll:
+		return kindPoll
+	case *Results:
+		return kindResults
+	case *SyncRequest:
+		return kindSyncRequest
+	case *SyncReply:
+		return kindSyncReply
+	case *FetchResult:
+		return kindFetchResult
+	case *FetchReply:
+		return kindFetchReply
+	case *Heartbeat:
+		return kindHeartbeat
+	case *HeartbeatAck:
+		return kindHeartbeatAck
+	case *TaskResult:
+		return kindTaskResult
+	case *TaskResultAck:
+		return kindTaskResultAck
+	case *TaskCancel:
+		return kindTaskCancel
+	case *ServerSync:
+		return kindServerSync
+	case *ServerSyncReply:
+		return kindServerSyncReply
+	case *ReplicaUpdate:
+		return kindReplicaUpdate
+	case *ReplicaAck:
+		return kindReplicaAck
+	case *ShardMapRequest:
+		return kindShardMapRequest
+	case *ShardMapReply:
+		return kindShardMapReply
+	case *ShardRedirect:
+		return kindShardRedirect
+	case *ShardSync:
+		return kindShardSync
+	case *ShardSyncAck:
+		return kindShardSyncAck
+	case *StealRequest:
+		return kindStealRequest
+	case *StealGrant:
+		return kindStealGrant
+	default:
+		return kindInvalid
+	}
+}
+
+// ---------------------------------------------------------------------
+// Pooled encode buffers
+// ---------------------------------------------------------------------
+
+// EncodeBuffer is a pooled scratch buffer for frame encoding. The
+// transport borrows one per batch flush, appends frames into B and
+// returns it; steady-state sends therefore allocate nothing.
+type EncodeBuffer struct{ B []byte }
+
+var bufPool = sync.Pool{New: func() any { return &EncodeBuffer{B: make([]byte, 0, 4096)} }}
+
+// GetBuffer borrows a pooled encode buffer (len 0).
+func GetBuffer() *EncodeBuffer { return bufPool.Get().(*EncodeBuffer) }
+
+// PutBuffer returns a buffer to the pool. Oversized buffers (a one-off
+// giant batch) are dropped instead of pinning their memory forever.
+func PutBuffer(b *EncodeBuffer) {
+	if b == nil || cap(b.B) > 1<<20 {
+		return
+	}
+	b.B = b.B[:0]
+	bufPool.Put(b)
+}
+
+// ---------------------------------------------------------------------
+// Append primitives
+// ---------------------------------------------------------------------
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// appendBytes length-prefixes b with a +1 scheme: 0 encodes nil, n+1
+// encodes a (possibly empty) slice of n bytes, so nil survives a round
+// trip — handlers and tests distinguish "no payload" from "empty".
+func appendBytes(dst []byte, b []byte) []byte {
+	if b == nil {
+		return append(dst, 0)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(b))+1)
+	return append(dst, b...)
+}
+
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// appendTime encodes an instant: marker 0 for the zero time, else
+// marker 1 + unix seconds (zigzag) + nanoseconds. The location is not
+// carried — decoding yields the same instant in UTC, which is all the
+// protocol compares (deadline ordering).
+func appendTime(dst []byte, t time.Time) []byte {
+	if t.IsZero() {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	dst = binary.AppendVarint(dst, t.Unix())
+	return binary.AppendUvarint(dst, uint64(t.Nanosecond()))
+}
+
+func appendCallID(dst []byte, c CallID) []byte {
+	dst = appendString(dst, string(c.User))
+	dst = binary.AppendUvarint(dst, uint64(c.Session))
+	return binary.AppendUvarint(dst, uint64(c.Seq))
+}
+
+func appendTaskID(dst []byte, t TaskID) []byte {
+	dst = appendCallID(dst, t.Call)
+	return binary.AppendUvarint(dst, uint64(t.Instance))
+}
+
+// appendSlice encodes xs with the +1 nil-preserving count scheme.
+func appendSlice[T any](dst []byte, xs []T, app func([]byte, T) []byte) []byte {
+	if xs == nil {
+		return append(dst, 0)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(xs))+1)
+	for i := range xs {
+		dst = app(dst, xs[i])
+	}
+	return dst
+}
+
+func appendSeq(dst []byte, s RPCSeq) []byte  { return binary.AppendUvarint(dst, uint64(s)) }
+func appendNode(dst []byte, n NodeID) []byte { return appendString(dst, string(n)) }
+func appendCall(dst []byte, c CallID) []byte { return appendCallID(dst, c) }
+func appendTask(dst []byte, t TaskID) []byte { return appendTaskID(dst, t) }
+func appendDur(dst []byte, d time.Duration) []byte {
+	return binary.AppendVarint(dst, int64(d))
+}
+
+// ---------------------------------------------------------------------
+// Read side
+// ---------------------------------------------------------------------
+
+// internTable deduplicates decoded strings. The protocol's strings are
+// a tiny, hot set (node IDs, user IDs, service names) repeated in
+// nearly every message; interning turns their per-decode allocation
+// into a map probe, which Go performs without allocating for a
+// []byte-keyed lookup. Both table size and entry length are capped so
+// adversarial or high-cardinality inputs (error strings) degrade to
+// plain allocation instead of growing the table without bound.
+type internTable struct{ m map[string]string }
+
+const (
+	maxInternEntries = 4096
+	maxInternLen     = 128
+)
+
+func (t *internTable) get(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if t == nil || len(b) > maxInternLen {
+		return string(b)
+	}
+	if s, ok := t.m[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if t.m == nil {
+		t.m = make(map[string]string)
+	}
+	if len(t.m) < maxInternEntries {
+		t.m[s] = s
+	}
+	return s
+}
+
+// binReader decodes one frame or blob in place. Errors are sticky:
+// after the first malformed field every further read is a no-op
+// returning zero values, and the caller checks err once at the end.
+type binReader struct {
+	buf    []byte
+	pos    int
+	err    error
+	intern *internTable
+}
+
+func (r *binReader) fail() {
+	if r.err == nil {
+		r.err = ErrCorrupt
+	}
+}
+
+func (r *binReader) remaining() int { return len(r.buf) - r.pos }
+
+func (r *binReader) u8() byte {
+	if r.err != nil || r.pos >= len(r.buf) {
+		r.fail()
+		return 0
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *binReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *binReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+// take returns n bytes of the frame without copying; the caller must
+// copy before the frame buffer is reused. A length beyond the bytes
+// actually present is corruption, detected before any allocation.
+func (r *binReader) take(n uint64) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(r.remaining()) {
+		r.fail()
+		return nil
+	}
+	b := r.buf[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	return b
+}
+
+func (r *binReader) str() string {
+	b := r.take(r.uvarint())
+	if r.err != nil {
+		return ""
+	}
+	return r.intern.get(b)
+}
+
+func (r *binReader) bytes() []byte {
+	n := r.uvarint()
+	if n == 0 {
+		return nil
+	}
+	b := r.take(n - 1)
+	if r.err != nil {
+		return nil
+	}
+	// make+copy, not append: append of zero elements onto nil would
+	// turn an encoded empty slice back into nil.
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+func (r *binReader) bool() bool {
+	switch r.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail()
+		return false
+	}
+}
+
+func (r *binReader) time() time.Time {
+	switch r.u8() {
+	case 0:
+		return time.Time{}
+	case 1:
+		sec := r.varint()
+		nsec := r.uvarint()
+		if nsec >= uint64(time.Second) {
+			r.fail()
+			return time.Time{}
+		}
+		return time.Unix(sec, int64(nsec)).UTC()
+	default:
+		r.fail()
+		return time.Time{}
+	}
+}
+
+func (r *binReader) dur() time.Duration { return time.Duration(r.varint()) }
+func (r *binReader) seq() RPCSeq        { return RPCSeq(r.uvarint()) }
+func (r *binReader) node() NodeID       { return NodeID(r.str()) }
+
+func (r *binReader) call() CallID {
+	return CallID{User: UserID(r.str()), Session: SessionID(r.uvarint()), Seq: r.seq()}
+}
+
+func (r *binReader) task() TaskID {
+	return TaskID{Call: r.call(), Instance: uint32(r.uvarint())}
+}
+
+// readSlice decodes a +1-counted slice. The declared element count is
+// validated against the remaining bytes (every element encodes at
+// least one byte) and the initial capacity is additionally capped:
+// in-memory elements can be far larger than their encodings (a
+// JobRecord is ~176 bytes, its minimal encoding ~14), so trusting a
+// corrupt count with a full preallocation would let one frame force
+// an allocation orders of magnitude beyond the input. Legitimate
+// large slices just grow through append's amortized doubling.
+func readSlice[T any](r *binReader, rd func(*binReader) T) []T {
+	n := r.uvarint()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	n--
+	if n > uint64(r.remaining()) {
+		r.fail()
+		return nil
+	}
+	capHint := n
+	if capHint > 256 {
+		capHint = 256
+	}
+	out := make([]T, 0, capHint)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, rd(r))
+		if r.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Per-type bodies
+// ---------------------------------------------------------------------
+
+func appendResult(dst []byte, res Result) []byte {
+	dst = appendCallID(dst, res.Call)
+	dst = appendBytes(dst, res.Output)
+	dst = appendString(dst, res.Err)
+	return appendNode(dst, res.Server)
+}
+
+func readResult(r *binReader) Result {
+	return Result{Call: r.call(), Output: r.bytes(), Err: r.str(), Server: r.node()}
+}
+
+func appendAssignment(dst []byte, t TaskAssignment) []byte {
+	dst = appendTaskID(dst, t.Task)
+	dst = appendString(dst, t.Service)
+	dst = appendBytes(dst, t.Params)
+	dst = appendDur(dst, t.ExecTime)
+	return binary.AppendVarint(dst, int64(t.ResultSize))
+}
+
+func readAssignment(r *binReader) TaskAssignment {
+	return TaskAssignment{Task: r.task(), Service: r.str(), Params: r.bytes(),
+		ExecTime: r.dur(), ResultSize: int(r.varint())}
+}
+
+func appendSessionMax(dst []byte, m SessionMax) []byte {
+	dst = appendString(dst, string(m.User))
+	dst = binary.AppendUvarint(dst, uint64(m.Session))
+	return appendSeq(dst, m.MaxSeq)
+}
+
+func readSessionMax(r *binReader) SessionMax {
+	return SessionMax{User: UserID(r.str()), Session: SessionID(r.uvarint()), MaxSeq: r.seq()}
+}
+
+func appendSessionSeqs(dst []byte, s SessionSeqs) []byte {
+	dst = appendString(dst, string(s.User))
+	dst = binary.AppendUvarint(dst, uint64(s.Session))
+	return appendSlice(dst, s.Seqs, appendSeq)
+}
+
+func readSessionSeqs(r *binReader) SessionSeqs {
+	return SessionSeqs{User: UserID(r.str()), Session: SessionID(r.uvarint()),
+		Seqs: readSlice(r, (*binReader).seq)}
+}
+
+func appendShardMapState(dst []byte, s ShardMapState) []byte {
+	dst = binary.AppendUvarint(dst, s.Version)
+	dst = binary.AppendVarint(dst, int64(s.VNodes))
+	return appendSlice(dst, s.Rings, func(dst []byte, ring []NodeID) []byte {
+		return appendSlice(dst, ring, appendNode)
+	})
+}
+
+func readShardMapState(r *binReader) ShardMapState {
+	return ShardMapState{Version: r.uvarint(), VNodes: int(r.varint()),
+		Rings: readSlice(r, func(r *binReader) []NodeID {
+			return readSlice(r, (*binReader).node)
+		})}
+}
+
+// appendJob adapts appendJobBody to appendSlice's by-value element
+// signature (the one place job records are encoded from a slice).
+func appendJob(dst []byte, j JobRecord) []byte { return appendJobBody(dst, &j) }
+
+func appendJobBody(dst []byte, j *JobRecord) []byte {
+	dst = appendCallID(dst, j.Call)
+	dst = appendString(dst, j.Service)
+	dst = appendBytes(dst, j.Params)
+	dst = appendDur(dst, j.ExecTime)
+	dst = binary.AppendVarint(dst, int64(j.ResultSize))
+	dst = appendTime(dst, j.Deadline)
+	dst = append(dst, byte(j.State))
+	dst = binary.AppendUvarint(dst, uint64(j.Instance))
+	dst = appendBytes(dst, j.Output)
+	dst = appendString(dst, j.ResultErr)
+	return appendNode(dst, j.Server)
+}
+
+func readJobBody(r *binReader) JobRecord {
+	return JobRecord{
+		Call:       r.call(),
+		Service:    r.str(),
+		Params:     r.bytes(),
+		ExecTime:   r.dur(),
+		ResultSize: int(r.varint()),
+		Deadline:   r.time(),
+		State:      TaskState(r.u8()),
+		Instance:   uint32(r.uvarint()),
+		Output:     r.bytes(),
+		ResultErr:  r.str(),
+		Server:     r.node(),
+	}
+}
+
+// appendMessageBody appends msg's binary body (no kind byte, no magic).
+// It panics on an unregistered message type, exactly as the gob path
+// panics on a type missing its gob.Register: a programming error.
+func appendMessageBody(dst []byte, msg Message) []byte {
+	switch m := msg.(type) {
+	case *Submit:
+		dst = appendCallID(dst, m.Call)
+		dst = appendString(dst, m.Service)
+		dst = appendBytes(dst, m.Params)
+		dst = appendDur(dst, m.ExecTime)
+		dst = binary.AppendVarint(dst, int64(m.ResultSize))
+		return appendDur(dst, m.Deadline)
+	case *SubmitAck:
+		dst = appendCallID(dst, m.Call)
+		return appendSeq(dst, m.MaxSeq)
+	case *Poll:
+		dst = appendString(dst, string(m.User))
+		dst = binary.AppendUvarint(dst, uint64(m.Session))
+		return appendSlice(dst, m.Have, appendSeq)
+	case *Results:
+		dst = appendString(dst, string(m.User))
+		dst = binary.AppendUvarint(dst, uint64(m.Session))
+		return appendSlice(dst, m.Results, appendResult)
+	case *SyncRequest:
+		dst = appendString(dst, string(m.User))
+		dst = binary.AppendUvarint(dst, uint64(m.Session))
+		dst = appendSeq(dst, m.MaxSeq)
+		return appendBool(dst, m.HaveLog)
+	case *SyncReply:
+		dst = appendString(dst, string(m.User))
+		dst = binary.AppendUvarint(dst, uint64(m.Session))
+		dst = appendSeq(dst, m.MaxSeq)
+		return appendSlice(dst, m.Known, appendSeq)
+	case *FetchResult:
+		dst = appendString(dst, string(m.User))
+		dst = binary.AppendUvarint(dst, uint64(m.Session))
+		return appendSeq(dst, m.Seq)
+	case *FetchReply:
+		dst = appendCallID(dst, m.Call)
+		dst = appendBool(dst, m.Known)
+		dst = appendBool(dst, m.Finished)
+		return appendResult(dst, m.Result)
+	case *Heartbeat:
+		dst = appendNode(dst, m.From)
+		dst = append(dst, byte(m.Role))
+		dst = binary.AppendVarint(dst, int64(m.Capacity))
+		return appendBool(dst, m.WantWork)
+	case *HeartbeatAck:
+		dst = appendNode(dst, m.From)
+		dst = appendSlice(dst, m.Tasks, appendAssignment)
+		return appendSlice(dst, m.Coordinators, appendNode)
+	case *TaskResult:
+		dst = appendNode(dst, m.From)
+		dst = appendTaskID(dst, m.Task)
+		dst = appendBytes(dst, m.Output)
+		dst = appendString(dst, m.Err)
+		return appendDur(dst, m.Exec)
+	case *TaskResultAck:
+		return appendTaskID(dst, m.Task)
+	case *TaskCancel:
+		return appendTaskID(dst, m.Task)
+	case *ServerSync:
+		dst = appendNode(dst, m.From)
+		dst = appendSlice(dst, m.Tasks, appendTask)
+		return appendSlice(dst, m.Running, appendTask)
+	case *ServerSyncReply:
+		dst = appendSlice(dst, m.Resend, appendTask)
+		return appendSlice(dst, m.Drop, appendTask)
+	case *ReplicaUpdate:
+		dst = appendNode(dst, m.From)
+		dst = binary.AppendUvarint(dst, m.Epoch)
+		dst = binary.AppendUvarint(dst, m.Round)
+		dst = appendSlice(dst, m.Jobs, appendJob)
+		return appendSlice(dst, m.MaxSeqs, appendSessionMax)
+	case *ReplicaAck:
+		dst = appendNode(dst, m.From)
+		dst = binary.AppendUvarint(dst, m.Epoch)
+		return binary.AppendUvarint(dst, m.Round)
+	case *ShardMapRequest:
+		return appendNode(dst, m.From)
+	case *ShardMapReply:
+		return appendShardMapState(dst, m.Map)
+	case *ShardRedirect:
+		dst = appendNode(dst, m.From)
+		dst = appendString(dst, string(m.User))
+		dst = binary.AppendUvarint(dst, uint64(m.Session))
+		dst = appendCallID(dst, m.Call)
+		dst = binary.AppendVarint(dst, int64(m.Shard))
+		return appendShardMapState(dst, m.Map)
+	case *ShardSync:
+		dst = appendNode(dst, m.From)
+		dst = binary.AppendVarint(dst, int64(m.Shard))
+		dst = binary.AppendUvarint(dst, m.Epoch)
+		dst = binary.AppendUvarint(dst, m.Round)
+		dst = appendSlice(dst, m.Jobs, appendJob)
+		return appendSlice(dst, m.Sessions, appendSessionSeqs)
+	case *ShardSyncAck:
+		dst = appendNode(dst, m.From)
+		dst = binary.AppendVarint(dst, int64(m.Shard))
+		dst = binary.AppendUvarint(dst, m.Epoch)
+		dst = binary.AppendUvarint(dst, m.Round)
+		return appendSlice(dst, m.Want, appendCall)
+	case *StealRequest:
+		dst = appendNode(dst, m.From)
+		dst = binary.AppendVarint(dst, int64(m.Shard))
+		dst = binary.AppendUvarint(dst, m.Epoch)
+		dst = binary.AppendUvarint(dst, m.Round)
+		return binary.AppendVarint(dst, int64(m.Capacity))
+	case *StealGrant:
+		dst = appendNode(dst, m.From)
+		dst = binary.AppendVarint(dst, int64(m.Shard))
+		dst = binary.AppendUvarint(dst, m.Epoch)
+		dst = binary.AppendUvarint(dst, m.Round)
+		return appendSlice(dst, m.Jobs, appendJob)
+	default:
+		panic("proto: appendMessageBody: unregistered message type " + msg.Kind())
+	}
+}
+
+// readMessageBody decodes the body for a kind byte. Unknown kinds set
+// the reader's error (a peer speaking a newer protocol revision).
+func readMessageBody(r *binReader, kind uint8) Message {
+	switch kind {
+	case kindSubmit:
+		return &Submit{Call: r.call(), Service: r.str(), Params: r.bytes(),
+			ExecTime: r.dur(), ResultSize: int(r.varint()), Deadline: r.dur()}
+	case kindSubmitAck:
+		return &SubmitAck{Call: r.call(), MaxSeq: r.seq()}
+	case kindPoll:
+		return &Poll{User: UserID(r.str()), Session: SessionID(r.uvarint()),
+			Have: readSlice(r, (*binReader).seq)}
+	case kindResults:
+		return &Results{User: UserID(r.str()), Session: SessionID(r.uvarint()),
+			Results: readSlice(r, readResult)}
+	case kindSyncRequest:
+		return &SyncRequest{User: UserID(r.str()), Session: SessionID(r.uvarint()),
+			MaxSeq: r.seq(), HaveLog: r.bool()}
+	case kindSyncReply:
+		return &SyncReply{User: UserID(r.str()), Session: SessionID(r.uvarint()),
+			MaxSeq: r.seq(), Known: readSlice(r, (*binReader).seq)}
+	case kindFetchResult:
+		return &FetchResult{User: UserID(r.str()), Session: SessionID(r.uvarint()), Seq: r.seq()}
+	case kindFetchReply:
+		return &FetchReply{Call: r.call(), Known: r.bool(), Finished: r.bool(),
+			Result: readResult(r)}
+	case kindHeartbeat:
+		return &Heartbeat{From: r.node(), Role: Role(r.u8()),
+			Capacity: int(r.varint()), WantWork: r.bool()}
+	case kindHeartbeatAck:
+		return &HeartbeatAck{From: r.node(), Tasks: readSlice(r, readAssignment),
+			Coordinators: readSlice(r, (*binReader).node)}
+	case kindTaskResult:
+		return &TaskResult{From: r.node(), Task: r.task(), Output: r.bytes(),
+			Err: r.str(), Exec: r.dur()}
+	case kindTaskResultAck:
+		return &TaskResultAck{Task: r.task()}
+	case kindTaskCancel:
+		return &TaskCancel{Task: r.task()}
+	case kindServerSync:
+		return &ServerSync{From: r.node(), Tasks: readSlice(r, (*binReader).task),
+			Running: readSlice(r, (*binReader).task)}
+	case kindServerSyncReply:
+		return &ServerSyncReply{Resend: readSlice(r, (*binReader).task),
+			Drop: readSlice(r, (*binReader).task)}
+	case kindReplicaUpdate:
+		return &ReplicaUpdate{From: r.node(), Epoch: r.uvarint(), Round: r.uvarint(),
+			Jobs: readSlice(r, readJobBody), MaxSeqs: readSlice(r, readSessionMax)}
+	case kindReplicaAck:
+		return &ReplicaAck{From: r.node(), Epoch: r.uvarint(), Round: r.uvarint()}
+	case kindShardMapRequest:
+		return &ShardMapRequest{From: r.node()}
+	case kindShardMapReply:
+		return &ShardMapReply{Map: readShardMapState(r)}
+	case kindShardRedirect:
+		return &ShardRedirect{From: r.node(), User: UserID(r.str()),
+			Session: SessionID(r.uvarint()), Call: r.call(),
+			Shard: int(r.varint()), Map: readShardMapState(r)}
+	case kindShardSync:
+		return &ShardSync{From: r.node(), Shard: int(r.varint()),
+			Epoch: r.uvarint(), Round: r.uvarint(),
+			Jobs: readSlice(r, readJobBody), Sessions: readSlice(r, readSessionSeqs)}
+	case kindShardSyncAck:
+		return &ShardSyncAck{From: r.node(), Shard: int(r.varint()),
+			Epoch: r.uvarint(), Round: r.uvarint(),
+			Want: readSlice(r, (*binReader).call)}
+	case kindStealRequest:
+		return &StealRequest{From: r.node(), Shard: int(r.varint()),
+			Epoch: r.uvarint(), Round: r.uvarint(), Capacity: int(r.varint())}
+	case kindStealGrant:
+		return &StealGrant{From: r.node(), Shard: int(r.varint()),
+			Epoch: r.uvarint(), Round: r.uvarint(),
+			Jobs: readSlice(r, readJobBody)}
+	default:
+		r.fail()
+		return nil
+	}
+}

@@ -1,0 +1,471 @@
+package proto
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBinaryRoundTripEveryMessage pushes every message kind through
+// the default binary storage encoding and requires a structurally
+// identical value back — including the nil/empty slice distinction,
+// which the +1 count scheme preserves.
+func TestBinaryRoundTripEveryMessage(t *testing.T) {
+	var dec Decoder // reused: the interning path must not corrupt values
+	for _, msg := range allMessages() {
+		raw := CodecBinary.EncodeMessage(msg)
+		if !IsBinaryPreface(raw[0]) {
+			t.Fatalf("%s: binary blob does not start with the magic byte", msg.Kind())
+		}
+		back, err := dec.DecodeMessage(raw)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", msg.Kind(), err)
+		}
+		if !reflect.DeepEqual(msg, back) {
+			t.Errorf("%s: round trip mismatch:\n sent %#v\n got  %#v", msg.Kind(), msg, back)
+		}
+	}
+}
+
+// TestBinaryRoundTripNilVersusEmpty pins the +1 count scheme: a nil
+// Params and an empty-but-allocated Params are different values and
+// must both survive.
+func TestBinaryRoundTripNilVersusEmpty(t *testing.T) {
+	for _, params := range [][]byte{nil, {}} {
+		m := &Submit{Call: CallID{User: "u", Session: 1, Seq: 2}, Params: params}
+		back, err := DecodeMessage(CodecBinary.EncodeMessage(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := back.(*Submit).Params
+		if (params == nil) != (got == nil) {
+			t.Fatalf("params nil-ness flipped: sent %#v, got %#v", params, got)
+		}
+	}
+}
+
+// TestBinaryJobRecordRoundTrip covers JobRecord through EncodeJob,
+// including a populated Deadline (instants survive; the location
+// normalizes to UTC, which is all deadline ordering compares).
+func TestBinaryJobRecordRoundTrip(t *testing.T) {
+	rec := &JobRecord{
+		Call:       CallID{User: "user-01", Session: 7, Seq: 42},
+		Service:    "svc",
+		Params:     []byte{1, 2, 3},
+		ExecTime:   3 * time.Second,
+		ResultSize: 128,
+		Deadline:   time.Unix(1_000_000_600, 250).In(time.FixedZone("X", 3600)),
+		State:      TaskOngoing,
+		Instance:   5,
+		Output:     []byte{9},
+		ResultErr:  "boom",
+		Server:     "server-000",
+	}
+	back, err := DecodeJob(EncodeJob(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Deadline.Equal(rec.Deadline) {
+		t.Fatalf("deadline instant changed: %v -> %v", rec.Deadline, back.Deadline)
+	}
+	// Compare everything else with the deadline normalized.
+	norm := *rec
+	norm.Deadline = norm.Deadline.UTC()
+	got := *back
+	got.Deadline = got.Deadline.UTC()
+	if !reflect.DeepEqual(&norm, &got) {
+		t.Fatalf("round trip mismatch:\n sent %#v\n got  %#v", norm, got)
+	}
+	// Zero deadline stays the zero time (IsZero survives).
+	zero := &JobRecord{Call: rec.Call}
+	back, err = DecodeJob(EncodeJob(zero))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Deadline.IsZero() {
+		t.Fatalf("zero deadline decoded as %v", back.Deadline)
+	}
+}
+
+// TestBinaryEncodingStable pins second-generation stability: encoding
+// the decoded value reproduces the exact bytes, so logs and WALs never
+// churn when records are rewritten.
+func TestBinaryEncodingStable(t *testing.T) {
+	for _, msg := range allMessages() {
+		raw := CodecBinary.EncodeMessage(msg)
+		back, err := DecodeMessage(raw)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", msg.Kind(), err)
+		}
+		if again := CodecBinary.EncodeMessage(back); !bytes.Equal(raw, again) {
+			t.Errorf("%s: re-encode differs:\n first  %x\n second %x", msg.Kind(), raw, again)
+		}
+	}
+}
+
+// TestKindBytesStable pins every message's wire kind byte. These are
+// protocol constants: renumbering breaks mixed clusters and stored
+// logs, so a changed value must be a loud, deliberate event.
+func TestKindBytesStable(t *testing.T) {
+	want := map[string]uint8{
+		"submit": 1, "submit-ack": 2, "poll": 3, "results": 4,
+		"sync-request": 5, "sync-reply": 6, "fetch-result": 7, "fetch-reply": 8,
+		"heartbeat": 9, "heartbeat-ack": 10, "task-result": 11, "task-result-ack": 12,
+		"task-cancel": 13, "server-sync": 14, "server-sync-reply": 15,
+		"replica-update": 16, "replica-ack": 17, "shard-map-request": 18,
+		"shard-map-reply": 19, "shard-redirect": 20, "shard-sync": 21,
+		"shard-sync-ack": 22, "steal-request": 23, "steal-grant": 24,
+	}
+	for _, msg := range allMessages() {
+		if got := kindOf(msg); got != want[msg.Kind()] {
+			t.Errorf("%s: kind byte %d, want %d", msg.Kind(), got, want[msg.Kind()])
+		}
+	}
+	if kindJobRecord != 25 {
+		t.Errorf("job record kind byte %d, want 25", kindJobRecord)
+	}
+}
+
+// wireSizeHints mirrors each WireSize formula: the number of
+// headerSize-sized record hints it charges and the fixed per-element
+// ID/seq hint bytes it adds beyond real payload bytes. The slack
+// between WireSize and the true marshalled length can never exceed
+// those hints (every hinted element encodes to at least one byte), so
+// the bound below pins the hint against the codec from above — while
+// "actual <= WireSize" pins it from below. Adding a message field
+// without touching WireSize now fails this test instead of silently
+// skewing the simulator's netmodel cost accounting.
+func wireSizeHints(msg Message) (records int, hintBytes int) {
+	mapHint := func(s ShardMapState) int {
+		n := 16
+		for _, ring := range s.Rings {
+			n += 16 * len(ring)
+		}
+		return n
+	}
+	switch m := msg.(type) {
+	case *Results:
+		return 1 + len(m.Results), 0
+	case *FetchReply:
+		return 2, 0
+	case *Poll:
+		return 1, 8 * len(m.Have)
+	case *SyncReply:
+		return 1, 8 * len(m.Known)
+	case *HeartbeatAck:
+		return 1 + len(m.Tasks), 16 * len(m.Coordinators)
+	case *ServerSync:
+		return 1, 40 * (len(m.Tasks) + len(m.Running))
+	case *ServerSyncReply:
+		return 1, 40 * (len(m.Resend) + len(m.Drop))
+	case *ReplicaUpdate:
+		return 1 + len(m.Jobs), 24 * len(m.MaxSeqs)
+	case *ShardMapReply:
+		return 1, mapHint(m.Map)
+	case *ShardRedirect:
+		return 1, mapHint(m.Map)
+	case *ShardSync:
+		n := 0
+		for i := range m.Sessions {
+			n += 24 + 8*len(m.Sessions[i].Seqs)
+		}
+		return 1 + len(m.Jobs), n
+	case *ShardSyncAck:
+		return 1, 40 * len(m.Want)
+	case *StealGrant:
+		return 1 + len(m.Jobs), 0
+	default:
+		return 1, 0
+	}
+}
+
+// TestWireSizeMatchesCodec checks, for every message kind, that the
+// WireSize hint brackets the actual binary encoding: never smaller
+// (the netmodel would undercharge, and encode buffers would regrow),
+// and larger only by the structural slack the hint formulas knowingly
+// include.
+func TestWireSizeMatchesCodec(t *testing.T) {
+	for _, msg := range allMessages() {
+		actual := len(CodecBinary.EncodeMessage(msg)) - 3 // strip magic/version/kind
+		ws := msg.WireSize()
+		if actual > ws {
+			t.Errorf("%s: marshalled length %d exceeds WireSize %d — a field was added without updating WireSize",
+				msg.Kind(), actual, ws)
+		}
+		records, hintBytes := wireSizeHints(msg)
+		if slack := ws - actual; slack > headerSize*records+hintBytes {
+			t.Errorf("%s: WireSize %d overestimates marshalled length %d by %d (allowed %d)",
+				msg.Kind(), ws, actual, slack, headerSize*records+hintBytes)
+		}
+	}
+}
+
+// TestWireSizeTracksPayload pins payload proportionality: growing a
+// payload field by n bytes must grow both WireSize and the encoding by
+// exactly n, so the netmodel's bandwidth charge follows real bytes.
+func TestWireSizeTracksPayload(t *testing.T) {
+	const n = 4096
+	small := &Submit{Call: CallID{User: "u", Session: 1, Seq: 1}, Service: "svc"}
+	big := &Submit{Call: small.Call, Service: "svc", Params: make([]byte, n)}
+	if d := big.WireSize() - small.WireSize(); d != n {
+		t.Errorf("WireSize delta %d for %d payload bytes", d, n)
+	}
+	encSmall := len(CodecBinary.EncodeMessage(small))
+	encBig := len(CodecBinary.EncodeMessage(big))
+	// The +1 count scheme and the length varint add a few bytes, never
+	// proportional ones.
+	if d := encBig - encSmall; d < n || d > n+4 {
+		t.Errorf("encoding delta %d for %d payload bytes", d, n)
+	}
+}
+
+// TestWireDecoderRoundTrip streams every message kind through the
+// framed wire encoding — preface, then one frame per message on a
+// single reused decoder — and requires identical values and sender
+// IDs back.
+func TestWireDecoderRoundTrip(t *testing.T) {
+	var stream bytes.Buffer
+	stream.Write(FramePreface[:])
+	msgs := allMessages()
+	buf := GetBuffer()
+	for _, m := range msgs {
+		buf.B = mustFrame(t, buf.B, "node-a", m)
+	}
+	stream.Write(buf.B)
+	PutBuffer(buf)
+
+	br := bufio.NewReader(&stream)
+	if err := ReadPreface(br); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewWireDecoder(br)
+	for i, want := range msgs {
+		from, got, err := dec.Next()
+		if err != nil {
+			t.Fatalf("frame %d (%s): %v", i, want.Kind(), err)
+		}
+		if from != "node-a" {
+			t.Fatalf("frame %d: from = %q", i, from)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("frame %d (%s): mismatch:\n sent %#v\n got  %#v", i, want.Kind(), want, got)
+		}
+	}
+	if _, _, err := dec.Next(); err != io.EOF {
+		t.Fatalf("tail error = %v, want io.EOF", err)
+	}
+}
+
+// TestWireDecoderRejectsTornFrames feeds the decoder every possible
+// truncation of a valid frame stream: each must yield a non-EOF error
+// (or a clean EOF exactly at a frame boundary) — never a panic, never
+// a phantom message.
+func TestWireDecoderRejectsTornFrames(t *testing.T) {
+	frame := mustFrame(t, nil, "node-a", &Submit{
+		Call: CallID{User: "user-01", Session: 7, Seq: 42}, Service: "svc", Params: []byte{1, 2, 3},
+	})
+	for cut := 0; cut < len(frame); cut++ {
+		dec := NewWireDecoder(bytes.NewReader(frame[:cut]))
+		_, msg, err := dec.Next()
+		if msg != nil {
+			t.Fatalf("cut %d: got a message from a torn frame", cut)
+		}
+		if cut == 0 {
+			if err != io.EOF {
+				t.Fatalf("cut 0: err = %v, want io.EOF (clean boundary)", err)
+			}
+		} else if err == nil || err == io.EOF {
+			t.Fatalf("cut %d: err = %v, want a torn-frame error", cut, err)
+		}
+	}
+}
+
+// TestWireDecoderRejectsGarbage pins the hardening: oversized or zero
+// length prefixes, truncated bodies, non-canonical bools, unknown
+// kinds and trailing bytes all error out without allocating the
+// declared (potentially huge) sizes and without panicking.
+func TestWireDecoderRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"zero length":    {0, 0, 0, 0},
+		"huge length":    {0xFF, 0xFF, 0xFF, 0xFF, 1},
+		"unknown kind":   frameBytes(t, func(b []byte) []byte { b[4] = 200; return b }),
+		"trailing bytes": frameBytes(t, func(b []byte) []byte { return growFrame(b, 3) }),
+	}
+	for name, raw := range cases {
+		dec := NewWireDecoder(bytes.NewReader(raw))
+		if _, msg, err := dec.Next(); err == nil || msg != nil {
+			t.Errorf("%s: decoded msg=%v err=%v, want error", name, msg, err)
+		}
+	}
+	// Storage blobs harden the same way.
+	if _, err := DecodeMessage([]byte{binMagic, binVersion, 200, 1, 2}); err == nil {
+		t.Error("DecodeMessage accepted an unknown kind")
+	}
+	if _, err := DecodeMessage([]byte{binMagic, 99, kindSubmit}); err == nil {
+		t.Error("DecodeMessage accepted an unknown version")
+	}
+	// A blob torn inside the 3-byte header is still reported as
+	// corrupt *binary*, never handed to the gob decoder whose error
+	// would misdirect the triage.
+	for _, torn := range [][]byte{{binMagic}, {binMagic, binVersion}} {
+		if _, err := DecodeMessage(torn); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("torn binary header (%d bytes): err = %v, want ErrCorrupt", len(torn), err)
+		}
+		if _, err := DecodeJob(torn); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("torn binary job header (%d bytes): err = %v, want ErrCorrupt", len(torn), err)
+		}
+	}
+	if _, err := DecodeJob([]byte{binMagic, binVersion, kindSubmit}); err == nil {
+		t.Error("DecodeJob accepted a non-job kind")
+	}
+}
+
+// mustFrame is AppendFrame for messages known to fit the frame cap.
+func mustFrame(t *testing.T, dst []byte, from NodeID, msg Message) []byte {
+	t.Helper()
+	out, err := AppendFrame(dst, from, msg)
+	if err != nil {
+		t.Fatalf("AppendFrame(%s): %v", msg.Kind(), err)
+	}
+	return out
+}
+
+// frameBytes builds a valid one-frame stream and lets the caller
+// corrupt it; the length prefix is patched to stay consistent.
+func frameBytes(t *testing.T, corrupt func([]byte) []byte) []byte {
+	t.Helper()
+	b := mustFrame(t, nil, "n", &TaskCancel{Task: TaskID{Call: CallID{User: "u", Session: 1, Seq: 2}}})
+	return corrupt(b)
+}
+
+// growFrame appends n garbage bytes inside the frame (the length
+// prefix is updated, so the body carries trailing junk).
+func growFrame(b []byte, n int) []byte {
+	for i := 0; i < n; i++ {
+		b = append(b, 0xAA)
+	}
+	ln := len(b) - 4
+	b[0], b[1], b[2], b[3] = byte(ln>>24), byte(ln>>16), byte(ln>>8), byte(ln)
+	return b
+}
+
+// TestAppendFrameRefusesOversized pins the send-side half of the
+// MaxFrame contract: a message encoding over the cap is refused with
+// dst rolled back, so one oversized message costs itself (best-effort
+// loss) instead of poisoning the connection for the whole batch —
+// every receiver would reject the length prefix and tear the stream
+// down.
+func TestAppendFrameRefusesOversized(t *testing.T) {
+	big := &Submit{Call: CallID{User: "u", Session: 1, Seq: 2},
+		Params: make([]byte, MaxFrame+1)}
+	dst := []byte{0xAB, 0xCD}
+	out, err := AppendFrame(dst, "n", big)
+	if err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	if len(out) != len(dst) || out[0] != 0xAB || out[1] != 0xCD {
+		t.Fatalf("dst not rolled back: len %d", len(out))
+	}
+	// The batch continues: a normal message still frames onto the
+	// rolled-back buffer.
+	out = mustFrame(t, out, "n", &SubmitAck{Call: big.Call})
+	dec := NewWireDecoder(bytes.NewReader(out[2:]))
+	if _, msg, err := dec.Next(); err != nil || msg.Kind() != "submit-ack" {
+		t.Fatalf("frame after rollback: %v %v", msg, err)
+	}
+}
+
+// TestDecodeAutoDetectsGobBlobs proves the storage compatibility
+// guarantee the -wire flag rests on: blobs written by the gob codec —
+// a WAL full of gob job records, a pre-binary message log — decode
+// under the binary-default build, and vice versa.
+func TestDecodeAutoDetectsGobBlobs(t *testing.T) {
+	for _, msg := range allMessages() {
+		for _, c := range []Codec{CodecGob, CodecBinary} {
+			back, err := DecodeMessage(c.EncodeMessage(msg))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", msg.Kind(), c, err)
+			}
+			if !reflect.DeepEqual(msg, back) {
+				t.Errorf("%s/%s: round trip mismatch", msg.Kind(), c)
+			}
+		}
+	}
+	rec := &JobRecord{Call: CallID{User: "u", Session: 1, Seq: 2}, Service: "svc",
+		Params: []byte{1}, State: TaskFinished, Output: []byte{2}, Server: "server-000"}
+	for _, c := range []Codec{CodecGob, CodecBinary} {
+		back, err := DecodeJob(c.EncodeJob(rec))
+		if err != nil {
+			t.Fatalf("job/%s: %v", c, err)
+		}
+		if !reflect.DeepEqual(rec, back) {
+			t.Errorf("job/%s: round trip mismatch:\n sent %#v\n got  %#v", c, rec, back)
+		}
+	}
+}
+
+// TestBinaryCodecAllocations is the perf contract behind the
+// BenchmarkCodec acceptance numbers, enforced deterministically:
+// encoding a small Submit allocates exactly the returned blob, and a
+// warmed reusable decoder allocates exactly the message.
+func TestBinaryCodecAllocations(t *testing.T) {
+	sub := &Submit{Call: CallID{User: "u0", Session: 1, Seq: 42}, Service: "noop"}
+	if n := testing.AllocsPerRun(200, func() { _ = CodecBinary.EncodeMessage(sub) }); n > 1 {
+		t.Errorf("encode allocates %.1f times per op, want <= 1", n)
+	}
+	raw := CodecBinary.EncodeMessage(sub)
+	var dec Decoder
+	if _, err := dec.DecodeMessage(raw); err != nil { // warm the intern table
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := dec.DecodeMessage(raw); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 1 {
+		t.Errorf("decode allocates %.1f times per op, want <= 1", n)
+	}
+}
+
+// TestEncodeBufferPool pins the pool contract: a returned buffer comes
+// back empty, and oversized buffers are dropped rather than retained.
+func TestEncodeBufferPool(t *testing.T) {
+	b := GetBuffer()
+	b.B = append(b.B, make([]byte, 100)...)
+	PutBuffer(b)
+	c := GetBuffer()
+	if len(c.B) != 0 {
+		t.Fatalf("pooled buffer returned with %d stale bytes", len(c.B))
+	}
+	PutBuffer(c)
+	huge := &EncodeBuffer{B: make([]byte, 0, 1<<21)}
+	PutBuffer(huge) // must not panic; must not be pinned (unobservable, but covered)
+}
+
+// TestInternTableCaps bounds the string cache: entries beyond the cap
+// and oversized strings fall back to plain allocation, and the interned
+// copy is value-correct.
+func TestInternTableCaps(t *testing.T) {
+	var tab internTable
+	long := strings.Repeat("x", maxInternLen+1)
+	if got := tab.get([]byte(long)); got != long {
+		t.Fatal("oversized string corrupted")
+	}
+	if len(tab.m) != 0 {
+		t.Fatal("oversized string was interned")
+	}
+	if got := tab.get([]byte("abc")); got != "abc" {
+		t.Fatal("interned string corrupted")
+	}
+	if got := tab.get([]byte("abc")); got != "abc" {
+		t.Fatal("second lookup corrupted")
+	}
+	if len(tab.m) != 1 {
+		t.Fatalf("intern table has %d entries, want 1", len(tab.m))
+	}
+}

@@ -1,24 +1,34 @@
 package proto
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"io"
 )
 
-// Wire framing of the real TCP transport: a connection carries a gob
-// stream of envelopes (sender node ID + one registered Message each),
-// and the receiver decodes envelopes until EOF — length-of-stream
-// framing, no count or length prefix. The pooled transport keeps a
-// connection open and appends envelopes (gob transmits each concrete
-// type's descriptor once per stream); the legacy connection-per-message
-// transport emits the shortest valid stream, exactly one envelope,
-// then closes. Both framings are therefore read by one code path and
-// no message kinds differ between them.
+// Wire framing of the real TCP transport.
+//
+// The default binary framing opens every connection with a two-byte
+// preface — the magic byte 0xBC and a codec version — followed by
+// length-prefixed frames: a big-endian uint32 frame length, then a
+// kind byte, the sender's node ID and the message body in the
+// hand-written binary encoding (binary.go). The legacy framing is a
+// gob stream of envelopes decoded until EOF. A receiver tells the two
+// apart from the first byte alone (a gob stream can never start with
+// 0xBC, see binMagic), so nodes on either codec interoperate: the
+// -wire flag only chooses what a node *sends*.
+//
+// Storage blobs (EncodeJob/EncodeMessage) use the same magic: binary
+// blobs are [magic, version, kind, body]; anything else is decoded as
+// gob, so logs and WALs written by pre-binary builds recover under the
+// binary default.
 //
 // init registers every concrete message type so that gob can move them
-// through the real TCP transport's envelope (whose payload is a
-// Message interface value).
+// through the legacy transport's envelope (whose payload is a Message
+// interface value) and through gob storage blobs.
 func init() {
 	gob.Register(&Submit{})
 	gob.Register(&SubmitAck{})
@@ -46,19 +56,143 @@ func init() {
 	gob.Register(&StealGrant{})
 }
 
-// EncodeJob serializes a job record for durable storage.
-func EncodeJob(rec *JobRecord) []byte {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
-		// A JobRecord contains only gob-encodable fields; failure here
-		// is a programming error, not an I/O condition.
-		panic(fmt.Sprintf("proto: encode job record: %v", err))
+// Wire codec names, shared by the -wire flags, rt.Config.Wire and
+// gridrpc.Config.Wire.
+const (
+	// WireBinary is the default: length-prefixed hand-written binary
+	// frames behind a magic version preface.
+	WireBinary = "binary"
+	// WireGob is the legacy gob stream — what every pre-binary build
+	// speaks. Receivers understand both regardless of this setting.
+	WireGob = "gob"
+)
+
+// ParseWire normalizes a -wire flag value ("" means the default).
+func ParseWire(s string) (string, error) {
+	switch s {
+	case "", WireBinary:
+		return WireBinary, nil
+	case WireGob:
+		return WireGob, nil
 	}
-	return buf.Bytes()
+	return "", fmt.Errorf("proto: unknown wire codec %q (want %s or %s)", s, WireBinary, WireGob)
 }
 
-// DecodeJob parses a job record previously encoded with EncodeJob.
-func DecodeJob(raw []byte) (*JobRecord, error) {
+// Codec selects a storage encoding for job records and logged
+// messages. The zero value is the binary codec — the default
+// everywhere; CodecGob remains for mixed deployments and comparisons.
+// Decoding always auto-detects, whatever the Codec.
+type Codec uint8
+
+const (
+	// CodecBinary is the hand-written binary encoding (the default).
+	CodecBinary Codec = iota
+	// CodecGob is the reflection-based legacy encoding.
+	CodecGob
+)
+
+// CodecForWire maps a wire codec name to the matching storage codec,
+// so one -wire flag keeps a daemon's connections and its durable blobs
+// on the same encoding.
+func CodecForWire(wire string) Codec {
+	if wire == WireGob {
+		return CodecGob
+	}
+	return CodecBinary
+}
+
+// String returns the codec name used in flags and experiment tables.
+func (c Codec) String() string {
+	if c == CodecGob {
+		return "gob"
+	}
+	return "binary"
+}
+
+// EncodeJob serializes a job record for durable storage.
+func (c Codec) EncodeJob(rec *JobRecord) []byte {
+	if c == CodecGob {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+			// A JobRecord contains only gob-encodable fields; failure
+			// here is a programming error, not an I/O condition.
+			panic(fmt.Sprintf("proto: encode job record: %v", err))
+		}
+		return buf.Bytes()
+	}
+	dst := make([]byte, 0, 3+rec.wireSize())
+	dst = append(dst, binMagic, binVersion, kindJobRecord)
+	return appendJobBody(dst, rec)
+}
+
+// EncodeMessage serializes any registered protocol message with a kind
+// tag, for message logs and result logs.
+func (c Codec) EncodeMessage(msg Message) []byte {
+	if c == CodecGob {
+		var buf bytes.Buffer
+		env := wireEnvelope{Msg: msg}
+		if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+			panic(fmt.Sprintf("proto: encode %s: %v", msg.Kind(), err))
+		}
+		return buf.Bytes()
+	}
+	kind := kindOf(msg)
+	if kind == kindInvalid {
+		panic("proto: encode unregistered message type " + msg.Kind())
+	}
+	// WireSize over-estimates framing generously (headerSize per
+	// record), so the single allocation below almost never regrows.
+	dst := make([]byte, 0, 3+msg.WireSize())
+	dst = append(dst, binMagic, binVersion, kind)
+	return appendMessageBody(dst, msg)
+}
+
+// EncodeJob serializes a job record for durable storage with the
+// default binary codec.
+func EncodeJob(rec *JobRecord) []byte { return CodecBinary.EncodeJob(rec) }
+
+// EncodeMessage serializes any registered protocol message with the
+// default binary codec.
+func EncodeMessage(msg Message) []byte { return CodecBinary.EncodeMessage(msg) }
+
+// Decoder decodes storage blobs. The zero value is ready; a decoder
+// that is reused across records interns repeated strings (node IDs,
+// users, services) so steady-state decodes allocate only the message
+// itself. Decoders are not safe for concurrent use.
+type Decoder struct {
+	intern internTable
+	// rd is the per-call reader, embedded so decoding does not heap-
+	// allocate it (passing a stack reader through the generic slice
+	// readers makes it escape).
+	rd binReader
+}
+
+// DecodeJob parses a job record previously produced by any codec's
+// EncodeJob (binary blobs self-identify by magic; anything else is
+// gob, so WALs written by pre-binary builds recover).
+func (d *Decoder) DecodeJob(raw []byte) (*JobRecord, error) {
+	if len(raw) > 0 && raw[0] == binMagic {
+		if len(raw) < 3 {
+			// Unambiguously a torn binary blob — do not fall through
+			// to gob, whose error would misdirect the triage.
+			return nil, fmt.Errorf("proto: decode job record: %w (truncated header)", ErrCorrupt)
+		}
+		if raw[1] != binVersion {
+			return nil, fmt.Errorf("proto: decode job record: unknown codec version %d", raw[1])
+		}
+		if raw[2] != kindJobRecord {
+			return nil, fmt.Errorf("proto: decode job record: kind %d is not a job record", raw[2])
+		}
+		d.rd = binReader{buf: raw[3:], intern: &d.intern}
+		rec := readJobBody(&d.rd)
+		if d.rd.err != nil {
+			return nil, fmt.Errorf("proto: decode job record: %w", d.rd.err)
+		}
+		if d.rd.remaining() != 0 {
+			return nil, fmt.Errorf("proto: decode job record: %w (trailing bytes)", ErrCorrupt)
+		}
+		return &rec, nil
+	}
 	var rec JobRecord
 	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&rec); err != nil {
 		return nil, fmt.Errorf("proto: decode job record: %w", err)
@@ -66,19 +200,28 @@ func DecodeJob(raw []byte) (*JobRecord, error) {
 	return &rec, nil
 }
 
-// EncodeMessage serializes any registered protocol message with a kind
-// tag, for message logs and the real transport.
-func EncodeMessage(msg Message) []byte {
-	var buf bytes.Buffer
-	env := wireEnvelope{Msg: msg}
-	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
-		panic(fmt.Sprintf("proto: encode %s: %v", msg.Kind(), err))
+// DecodeMessage parses a message previously produced by any codec's
+// EncodeMessage, auto-detecting the encoding like DecodeJob.
+func (d *Decoder) DecodeMessage(raw []byte) (Message, error) {
+	if len(raw) > 0 && raw[0] == binMagic {
+		if len(raw) < 3 {
+			// Unambiguously a torn binary blob — do not fall through
+			// to gob, whose error would misdirect the triage.
+			return nil, fmt.Errorf("proto: decode message: %w (truncated header)", ErrCorrupt)
+		}
+		if raw[1] != binVersion {
+			return nil, fmt.Errorf("proto: decode message: unknown codec version %d", raw[1])
+		}
+		d.rd = binReader{buf: raw[3:], intern: &d.intern}
+		msg := readMessageBody(&d.rd, raw[2])
+		if d.rd.err != nil {
+			return nil, fmt.Errorf("proto: decode message kind %d: %w", raw[2], d.rd.err)
+		}
+		if d.rd.remaining() != 0 {
+			return nil, fmt.Errorf("proto: decode message: %w (trailing bytes)", ErrCorrupt)
+		}
+		return msg, nil
 	}
-	return buf.Bytes()
-}
-
-// DecodeMessage parses a message encoded with EncodeMessage.
-func DecodeMessage(raw []byte) (Message, error) {
 	var env wireEnvelope
 	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&env); err != nil {
 		return nil, fmt.Errorf("proto: decode message: %w", err)
@@ -89,6 +232,130 @@ func DecodeMessage(raw []byte) (Message, error) {
 	return env.Msg, nil
 }
 
+// DecodeJob parses a job record with a one-shot decoder.
+func DecodeJob(raw []byte) (*JobRecord, error) {
+	var d Decoder
+	return d.DecodeJob(raw)
+}
+
+// DecodeMessage parses a message with a one-shot decoder.
+func DecodeMessage(raw []byte) (Message, error) {
+	var d Decoder
+	return d.DecodeMessage(raw)
+}
+
+// wireEnvelope is the gob storage envelope (legacy EncodeMessage).
 type wireEnvelope struct {
 	Msg Message
+}
+
+// ---------------------------------------------------------------------
+// Binary wire framing
+// ---------------------------------------------------------------------
+
+// FramePreface is written once at the start of every binary-framed
+// connection: magic + codec version. Receivers dispatch on the first
+// byte (IsBinaryPreface) and verify the second (CheckPrefaceVersion).
+var FramePreface = [2]byte{binMagic, binVersion}
+
+// IsBinaryPreface reports whether a connection's first byte announces
+// binary framing; any other value is the start of a legacy gob stream.
+func IsBinaryPreface(b byte) bool { return b == binMagic }
+
+// CheckPrefaceVersion validates a binary preface's version byte.
+func CheckPrefaceVersion(v byte) error {
+	if v != binVersion {
+		return fmt.Errorf("proto: unknown wire codec version %d", v)
+	}
+	return nil
+}
+
+// AppendFrame appends one length-prefixed wire frame carrying (from,
+// msg) to dst and returns the extended slice. Zero allocation when dst
+// has capacity — the transport reuses pooled buffers across batches.
+// A message whose encoding exceeds MaxFrame is refused: dst comes back
+// truncated to its original length with a non-nil error, because every
+// receiver would reject the oversized length prefix and tear down the
+// connection — taking the rest of the batch with it. The sender drops
+// just that message instead (ordinary best-effort loss).
+func AppendFrame(dst []byte, from NodeID, msg Message) ([]byte, error) {
+	kind := kindOf(msg)
+	if kind == kindInvalid {
+		panic("proto: frame unregistered message type " + msg.Kind())
+	}
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, kind)
+	dst = appendString(dst, string(from))
+	dst = appendMessageBody(dst, msg)
+	n := len(dst) - start - 4
+	if n > MaxFrame {
+		return dst[:start], fmt.Errorf("proto: %s encodes to %d bytes, over the %d frame cap", msg.Kind(), n, MaxFrame)
+	}
+	binary.BigEndian.PutUint32(dst[start:], uint32(n))
+	return dst, nil
+}
+
+// WireDecoder reads binary frames from a connection (after the caller
+// consumed and verified the two-byte preface). One frame buffer is
+// reused for the life of the connection and strings are interned
+// across frames, so a sustained stream decodes without per-frame
+// buffer allocations or intermediate copies — bytes go from the socket
+// into the frame buffer and are parsed in place.
+type WireDecoder struct {
+	r      io.Reader
+	hdr    [4]byte
+	buf    []byte
+	intern internTable
+	rd     binReader // reused per frame; see Decoder.rd
+}
+
+// NewWireDecoder creates a frame decoder over r.
+func NewWireDecoder(r io.Reader) *WireDecoder { return &WireDecoder{r: r} }
+
+// Next reads one frame. It returns io.EOF exactly at a clean frame
+// boundary (connection closed between frames) and ErrUnexpectedEOF on
+// a torn frame; any malformed length or body is an error, never a
+// panic or an unbounded allocation.
+func (d *WireDecoder) Next() (NodeID, Message, error) {
+	if _, err := io.ReadFull(d.r, d.hdr[:]); err != nil {
+		return "", nil, err // io.EOF only at a clean boundary
+	}
+	n := binary.BigEndian.Uint32(d.hdr[:])
+	if n == 0 || n > MaxFrame {
+		return "", nil, fmt.Errorf("proto: frame length %d out of range", n)
+	}
+	if cap(d.buf) < int(n) {
+		d.buf = make([]byte, n)
+	}
+	buf := d.buf[:n]
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return "", nil, err
+	}
+	d.rd = binReader{buf: buf, intern: &d.intern}
+	kind := d.rd.u8()
+	from := d.rd.node()
+	msg := readMessageBody(&d.rd, kind)
+	if d.rd.err != nil {
+		return "", nil, fmt.Errorf("proto: decode frame kind %d: %w", kind, d.rd.err)
+	}
+	if d.rd.remaining() != 0 {
+		return "", nil, fmt.Errorf("proto: decode frame: %w (trailing bytes)", ErrCorrupt)
+	}
+	return from, msg, nil
+}
+
+// ReadPreface consumes and verifies a binary connection preface from a
+// buffered reader whose next byte is known (via Peek) to be the magic.
+func ReadPreface(br *bufio.Reader) error {
+	var pre [2]byte
+	if _, err := io.ReadFull(br, pre[:]); err != nil {
+		return err
+	}
+	if !IsBinaryPreface(pre[0]) {
+		return fmt.Errorf("proto: not a binary preface: 0x%02x", pre[0])
+	}
+	return CheckPrefaceVersion(pre[1])
 }

@@ -50,12 +50,14 @@ func allMessages() []Message {
 }
 
 // TestGobRoundTripEveryMessage encodes and decodes every message type
-// through the real-transport envelope and requires a structurally
-// identical value back. EncodeMessage panics on an unregistered type,
-// so this test fails fast when a new message misses its gob.Register.
+// through the legacy gob envelope and requires a structurally
+// identical value back — the decode auto-detecting that the blob is
+// gob, exactly as recovery of a pre-binary log does. CodecGob's
+// EncodeMessage panics on an unregistered type, so this test fails
+// fast when a new message misses its gob.Register.
 func TestGobRoundTripEveryMessage(t *testing.T) {
 	for _, msg := range allMessages() {
-		raw := EncodeMessage(msg)
+		raw := CodecGob.EncodeMessage(msg)
 		back, err := DecodeMessage(raw)
 		if err != nil {
 			t.Fatalf("%s: decode: %v", msg.Kind(), err)

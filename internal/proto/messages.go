@@ -7,10 +7,20 @@ import (
 
 // Message is the interface implemented by every RPC-V protocol message.
 //
-// WireSize reports the serialized size of the message in bytes; the
-// simulated network model charges size/bandwidth transfer time and the
-// real transport uses gob encoding (whose size is close to WireSize for
-// the payload-dominated messages that matter).
+// WireSize reports the serialized size of the message in bytes: the
+// simulated network model charges size/bandwidth transfer time from
+// it, and the binary codec sizes its encode buffers by it. Payload
+// bytes (params, outputs, strings named in the formulas) are counted
+// exactly; framing rides on headerSize per record and fixed
+// per-element hints for embedded IDs (40 per TaskID, 16 per NodeID, 8
+// per sequence number), which over-estimate the binary encoding for
+// typical identifier lengths — a deployment whose user IDs alone run
+// past ~32 bytes would tip ID-list messages the other way, costing an
+// encode-buffer regrow and a netmodel undercharge, not correctness.
+// TestWireSizeMatchesCodec pins the hint against the actual
+// marshalled length over representative samples, so adding a field
+// without updating WireSize fails loudly instead of silently skewing
+// the accounting.
 type Message interface {
 	Kind() string
 	WireSize() int

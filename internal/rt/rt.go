@@ -15,10 +15,13 @@
 // used as fault signals — only heartbeat timeouts are. A quiet peer's
 // connection closes after Config.IdleTimeout, returning it to the
 // paper's "open, write one message, close" behaviour, which
-// Config.LegacyTransport restores entirely. Both transports
-// interoperate on the wire: the read side decodes a stream of
-// envelopes until EOF, and a single-envelope stream is simply the
-// shortest case.
+// Config.LegacyTransport restores entirely. Connections speak the
+// hand-written binary codec by default — a two-byte magic/version
+// preface, then length-prefixed frames — and Config.Wire ("gob")
+// reverts to the legacy gob envelope stream. All combinations
+// interoperate: the read side auto-detects the codec from the first
+// byte, decodes until EOF, and a single-envelope (or single-frame)
+// stream is simply the shortest case.
 //
 // Each runtime runs its handler on a single event loop goroutine, so
 // handlers keep the no-locking discipline they have under the
@@ -26,6 +29,7 @@
 package rt
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -77,6 +81,14 @@ type Config struct {
 	// closes. The escape hatch for mixed deployments whose pre-pooling
 	// binaries stop reading after the first envelope of a connection.
 	LegacyTransport bool
+	// Wire selects the codec this node's outgoing connections speak:
+	// proto.WireBinary (default; length-prefixed hand-written frames
+	// behind a magic version preface) or proto.WireGob (the legacy gob
+	// envelope stream — what pre-binary builds both speak and expect).
+	// Inbound connections auto-detect either codec from the first
+	// byte, so a mixed cluster interoperates; set gob only when this
+	// node must talk TO peers that predate the binary codec.
+	Wire string
 	// QueueDepth bounds each peer's send queue on the pooled
 	// transport. When full, the oldest queued envelope is dropped —
 	// best-effort semantics, indistinguishable from network loss.
@@ -154,6 +166,11 @@ func Start(cfg Config) (*Runtime, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
+	wire, err := proto.ParseWire(cfg.Wire)
+	if err != nil {
+		return nil, fmt.Errorf("rt: %w", err)
+	}
+	cfg.Wire = wire
 	seed := cfg.Seed
 	if seed == 0 {
 		for _, c := range cfg.ID {
@@ -361,21 +378,53 @@ func (r *Runtime) acceptLoop() {
 	}
 }
 
-// handleConn drains one inbound connection: a gob stream of envelopes,
+// handleConn drains one inbound connection, auto-detecting the codec
+// from its first byte: the binary magic preface opens a stream of
+// length-prefixed frames; anything else is a gob stream of envelopes,
 // decoded until EOF (length-of-stream framing). The legacy connection-
-// per-message transport produces the degenerate one-envelope stream,
-// so both transports share this read path.
+// per-message transport produces the degenerate one-envelope (or
+// one-frame) stream, so every transport/codec combination shares this
+// read path — which is what lets a mixed cluster interoperate.
 func (r *Runtime) handleConn(conn net.Conn) {
 	defer r.wg.Done()
 	defer r.inbound.Add(-1)
 	defer r.untrack(conn)
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
-	for {
-		// The deadline outlives the sender's idle timeout so the
-		// sender, not the receiver, decides when a quiet connection
-		// dies.
+	// The deadline outlives the sender's idle timeout so the sender,
+	// not the receiver, decides when a quiet connection dies.
+	deadline := func() {
 		_ = conn.SetReadDeadline(time.Now().Add(r.cfg.IdleTimeout + 30*time.Second))
+	}
+	deadline()
+	br := bufio.NewReader(conn)
+	first, err := br.Peek(1)
+	if err != nil {
+		if err != io.EOF {
+			r.cfg.Logf("rt(%s): read: %v", r.cfg.ID, err)
+		}
+		return
+	}
+	if proto.IsBinaryPreface(first[0]) {
+		if err := proto.ReadPreface(br); err != nil {
+			r.cfg.Logf("rt(%s): preface: %v", r.cfg.ID, err)
+			return
+		}
+		dec := proto.NewWireDecoder(br)
+		for {
+			deadline()
+			from, msg, err := dec.Next()
+			if err != nil {
+				if err != io.EOF {
+					r.cfg.Logf("rt(%s): decode frame: %v", r.cfg.ID, err)
+				}
+				return
+			}
+			r.DoAsync(func() { r.cfg.Handler.Receive(from, msg) })
+		}
+	}
+	dec := gob.NewDecoder(br)
+	for {
+		deadline()
 		var env envelope
 		if err := dec.Decode(&env); err != nil {
 			if err != io.EOF {
@@ -419,7 +468,9 @@ func (r *Runtime) send(to proto.NodeID, msg proto.Message) {
 	r.senderFor(to).enqueue(msg)
 }
 
-// sendLegacy performs one paper-style connection-per-message send.
+// sendLegacy performs one paper-style connection-per-message send:
+// dial, write one envelope (or preface + one frame on the binary
+// codec), close.
 func (r *Runtime) sendLegacy(to proto.NodeID, msg proto.Message) {
 	defer r.wg.Done()
 	addr, ok := r.lookup(to)
@@ -437,8 +488,18 @@ func (r *Runtime) sendLegacy(to proto.NodeID, msg proto.Message) {
 	}
 	defer r.untrack(conn)
 	_ = conn.SetWriteDeadline(time.Now().Add(time.Minute))
-	env := envelope{From: r.cfg.ID, Msg: msg}
-	if err := gob.NewEncoder(conn).Encode(&env); err != nil {
+	if r.cfg.Wire == proto.WireBinary {
+		buf := proto.GetBuffer()
+		buf.B = append(buf.B, proto.FramePreface[:]...)
+		if buf.B, err = proto.AppendFrame(buf.B, r.cfg.ID, msg); err == nil {
+			_, err = conn.Write(buf.B)
+		}
+		proto.PutBuffer(buf)
+	} else {
+		env := envelope{From: r.cfg.ID, Msg: msg}
+		err = gob.NewEncoder(conn).Encode(&env)
+	}
+	if err != nil {
 		r.stats.dropped.Add(1)
 		r.cfg.Logf("rt(%s): send %s to %s: %v", r.cfg.ID, msg.Kind(), to, err)
 		return

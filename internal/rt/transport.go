@@ -1,10 +1,13 @@
 package rt
 
 // The pooled transport: one sender goroutine per peer owns a single
-// long-lived TCP connection and a reused gob encoder, so sustained
-// traffic pays the dial and the gob type-descriptor handshake once per
-// connection instead of once per message. Semantics stay the paper's
-// best-effort channel:
+// long-lived TCP connection, so sustained traffic pays the dial (and,
+// on the gob codec, the type-descriptor handshake) once per connection
+// instead of once per message. With the default binary wire codec the
+// sender opens the connection with the two-byte magic/version preface
+// and appends length-prefixed frames into one pooled buffer per batch
+// — zero allocations on the steady-state send path. Semantics stay the
+// paper's best-effort channel:
 //
 //   - enqueue never blocks the caller; a full queue drops the oldest
 //     envelope (indistinguishable from network loss, which the
@@ -17,10 +20,11 @@ package rt
 //     connection and retires, returning a quiet peer to the paper's
 //     connection-less behaviour.
 //
-// The read side (Runtime.handleConn) speaks length-of-stream framing —
-// decode envelopes until EOF — so the legacy one-envelope-per-
-// connection transport (Config.LegacyTransport) remains wire
-// compatible as the shortest possible stream.
+// The read side (Runtime.handleConn) auto-detects the codec from the
+// connection's first byte, then decodes frames (binary) or envelopes
+// (gob) until EOF, so nodes on either -wire setting and the legacy
+// one-envelope-per-connection transport (Config.LegacyTransport) all
+// interoperate.
 
 import (
 	"bufio"
@@ -159,6 +163,7 @@ func (s *sender) tryRetire() bool {
 func (s *sender) run() {
 	defer s.rt.wg.Done()
 
+	binaryWire := s.rt.cfg.Wire == proto.WireBinary
 	var conn net.Conn
 	var bw *bufio.Writer
 	var enc *gob.Encoder
@@ -235,16 +240,44 @@ func (s *sender) run() {
 					return // shutting down; track closed c
 				}
 				conn, bw = c, bufio.NewWriter(c)
-				enc = gob.NewEncoder(bw)
+				if binaryWire {
+					// The preface rides the first batch's flush: one
+					// write announces the codec version for the whole
+					// connection.
+					_, _ = bw.Write(proto.FramePreface[:])
+				} else {
+					enc = gob.NewEncoder(bw)
+				}
 				dialedAddr = addr
 				backoff = backoffMin
 			}
+			// One deadline and one envelope serve the whole batch: the
+			// per-message work inside the loop is encoding only.
 			_ = conn.SetWriteDeadline(time.Now().Add(time.Minute))
 			var werr error
-			for _, m := range batch {
-				env := envelope{From: s.rt.cfg.ID, Msg: m}
-				if werr = enc.Encode(&env); werr != nil {
-					break
+			framed := len(batch)
+			if binaryWire {
+				buf := proto.GetBuffer()
+				for _, m := range batch {
+					var ferr error
+					if buf.B, ferr = proto.AppendFrame(buf.B, s.rt.cfg.ID, m); ferr != nil {
+						// Over the frame cap: drop this message alone
+						// (best effort) instead of poisoning the
+						// connection for the whole batch.
+						framed--
+						s.rt.stats.dropped.Add(1)
+						s.rt.cfg.Logf("rt(%s): %v", s.rt.cfg.ID, ferr)
+					}
+				}
+				_, werr = bw.Write(buf.B)
+				proto.PutBuffer(buf)
+			} else {
+				env := envelope{From: s.rt.cfg.ID}
+				for _, m := range batch {
+					env.Msg = m
+					if werr = enc.Encode(&env); werr != nil {
+						break
+					}
 				}
 			}
 			if werr == nil {
@@ -257,11 +290,11 @@ func (s *sender) run() {
 				// and the encoder's stream state is unrecoverable —
 				// count everything dropped, close, redial on the next
 				// batch. Never a fault signal.
-				s.rt.stats.dropped.Add(uint64(len(batch)))
+				s.rt.stats.dropped.Add(uint64(framed))
 				closeConn()
 				continue
 			}
-			s.rt.stats.sent.Add(uint64(len(batch)))
+			s.rt.stats.sent.Add(uint64(framed))
 			s.rt.stats.flushes.Add(1)
 		}
 		resetTimer(idle, s.rt.cfg.IdleTimeout)

@@ -67,6 +67,12 @@ type Config struct {
 	// OnTaskDone, when non-nil, is invoked when a task's execution
 	// completes locally (before upload) — an experiment hook.
 	OnTaskDone func(task proto.TaskID, at time.Time)
+
+	// Codec selects the encoding of the durable result log (the
+	// server-side pessimistic log). The zero value is the binary
+	// codec; recovery auto-detects, so logs written under either codec
+	// replay under either.
+	Codec proto.Codec
 }
 
 func (c *Config) applyDefaults() {
@@ -184,12 +190,13 @@ func (s *Server) Stop() {
 }
 
 func (s *Server) loadResultLog() {
+	var dec proto.Decoder // one decoder: recovery interns repeated IDs
 	for _, key := range s.env.Disk().Keys("server/result/") {
 		raw, ok := s.env.Disk().Read(key)
 		if !ok {
 			continue
 		}
-		msg, err := proto.DecodeMessage(raw)
+		msg, err := dec.DecodeMessage(raw)
 		if err != nil {
 			s.env.Logf("server: corrupt result log %s: %v", key, err)
 			continue
@@ -525,7 +532,7 @@ func (s *Server) completeTask(t *proto.TaskAssignment) {
 		s.cfg.OnTaskDone(t.Task, s.env.Now())
 	}
 	res := &proto.TaskResult{From: s.env.Self(), Task: t.Task, Output: output, Err: errStr, Exec: exec}
-	if err := s.env.Disk().Write(s.resultKey(t.Task), proto.EncodeMessage(res)); err != nil {
+	if err := s.env.Disk().Write(s.resultKey(t.Task), s.cfg.Codec.EncodeMessage(res)); err != nil {
 		s.env.Logf("server: log result %s: %v", t.Task, err)
 	}
 	s.unacked[t.Task] = res
