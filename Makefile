@@ -9,10 +9,12 @@
 #   make store      print the durable-store (wal vs files) table
 #   make wire       run the codec micro-benchmark (binary vs gob)
 #   make race       race-detect the runtime, store engines and codec
+#   make obs        race-detect the observability plane (registry,
+#                   tracer, admin endpoints, live-grid acceptance)
 
 GO ?= go
 
-.PHONY: all vet build test bench smoke shard sched transport store wire race ci
+.PHONY: all vet build test bench smoke shard sched transport store wire race obs ci
 
 all: vet build test
 
@@ -27,6 +29,9 @@ test:
 
 race:
 	$(GO) test -race ./internal/rt/... ./internal/store/... ./internal/proto/...
+
+obs:
+	$(GO) test -race ./internal/obs/...
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -49,4 +54,4 @@ store:
 wire:
 	$(GO) test -run '^$$' -bench BenchmarkCodec -benchmem .
 
-ci: vet build test race smoke
+ci: vet build test race obs smoke

@@ -15,6 +15,11 @@
 // "binary" (default) or "gob" when talking to pre-binary
 // coordinators. Receiving and log recovery auto-detect either codec.
 //
+// -admin mounts the observability HTTP server (internal/obs) on the
+// given address: /metrics, /statusz, /healthz, /tracez and
+// /debug/pprof/. Empty disables it. On exit the client prints a
+// one-line metrics summary.
+//
 // The client tags every submission with a (user, session, rpc) unique
 // ID and logs it per the chosen strategy; re-running with the same
 // -user and -session retrieves results of a previous (possibly
@@ -31,6 +36,8 @@ import (
 
 	"rpcv/internal/gridrpc"
 	"rpcv/internal/msglog"
+	"rpcv/internal/obs"
+	"rpcv/internal/proto"
 	"rpcv/internal/shared"
 	"rpcv/internal/store"
 )
@@ -52,6 +59,7 @@ func main() {
 	shardVersion := flag.Uint64("shardversion", 1, "cached shard map version")
 	legacyTransport := flag.Bool("legacy-transport", false, "use the paper's connection-per-message transport instead of pooled connections")
 	wire := flag.String("wire", "binary", "wire/storage codec: binary | gob (send gob to pre-binary coordinators; receiving auto-detects)")
+	admin := flag.String("admin", "", "observability HTTP address serving /metrics /statusz /healthz /tracez /debug/pprof/ (empty: disabled)")
 	flag.Parse()
 
 	dirMap, _, err := shared.ParseDirectory(*coords)
@@ -84,6 +92,11 @@ func main() {
 		}
 	}
 
+	var ob *obs.Observer
+	if *admin != "" {
+		ob = obs.New(proto.NodeID("client-" + *user))
+	}
+
 	sess, err := gridrpc.Dial(gridrpc.Config{
 		User:            *user,
 		Session:         *session,
@@ -95,12 +108,23 @@ func main() {
 		Shard:           smap,
 		LegacyTransport: *legacyTransport,
 		Wire:            *wire,
+		Obs:             ob,
 	})
 	if err != nil {
 		log.Fatalf("rpcv-client: %v", err)
 	}
 	defer sess.Close()
 	fmt.Printf("session up (reply address %s)\n", sess.Addr())
+
+	if *admin != "" {
+		adm, err := obs.ServeAdmin(*admin, ob)
+		if err != nil {
+			log.Fatalf("rpcv-client: %v", err)
+		}
+		defer adm.Close()
+		adm.Status("client", func() any { return sess.Stats() })
+		fmt.Printf("admin on http://%s\n", adm.Addr())
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *wait)
 	defer cancel()
@@ -127,4 +151,7 @@ func main() {
 	st := sess.Stats()
 	fmt.Printf("done in %v (results %d/%d, failovers %d, syncs %d)\n",
 		time.Since(start).Round(time.Millisecond), st.Results, st.Submitted, st.Failovers, st.Syncs)
+	if ob != nil {
+		fmt.Printf("metrics: %s\n", ob.Registry().Summary())
+	}
 }

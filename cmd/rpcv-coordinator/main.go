@@ -20,6 +20,12 @@
 // mixed cluster interoperates and a WAL written by a gob build
 // recovers under the binary default.
 //
+// -admin mounts the observability HTTP server (internal/obs) on the
+// given address: /metrics (Prometheus text), /statusz (JSON counters,
+// shard map, suspected nodes), /healthz, /tracez (task-lifecycle span
+// ring), and /debug/pprof/. Empty disables it. On shutdown the daemon
+// prints a one-line metrics summary.
+//
 // Peers are fellow coordinators forming the passive-replication ring.
 // Clients and servers reach this coordinator at the listen address; the
 // daemon learns their reply addresses from the directory flags of those
@@ -39,6 +45,7 @@ import (
 
 	"rpcv/internal/coordinator"
 	"rpcv/internal/db"
+	"rpcv/internal/obs"
 	"rpcv/internal/proto"
 	"rpcv/internal/rt"
 	"rpcv/internal/sched"
@@ -67,6 +74,7 @@ func main() {
 	queueDepth := flag.Int("send-queue", 0, "pooled transport per-peer send queue depth (0: default 128)")
 	idleTimeout := flag.Duration("idle-timeout", 0, "pooled transport connection idle timeout (0: default 30s)")
 	maxInbound := flag.Int("max-inbound", 0, "max concurrent inbound connections before shedding (0: default 256)")
+	admin := flag.String("admin", "", "observability HTTP address serving /metrics /statusz /healthz /tracez /debug/pprof/ (empty: disabled)")
 	flag.Parse()
 
 	if _, err := sched.New(sched.Config{Policy: *policy}); err != nil {
@@ -118,6 +126,11 @@ func main() {
 		coordIDs = smap.Ring(ring)
 	}
 
+	var ob *obs.Observer
+	if *admin != "" {
+		ob = obs.New(proto.NodeID(*id))
+	}
+
 	co := coordinator.New(coordinator.Config{
 		Coordinators:      coordIDs,
 		ReplicationPeriod: *replication,
@@ -133,6 +146,7 @@ func main() {
 			log.Printf("finished %s at %s", call, at.Format(time.RFC3339))
 		},
 		Codec: proto.CodecForWire(wireCodec),
+		Obs:   ob,
 	})
 
 	rtm, err := rt.Start(rt.Config{
@@ -147,6 +161,7 @@ func main() {
 		QueueDepth:      *queueDepth,
 		IdleTimeout:     *idleTimeout,
 		MaxInboundConns: *maxInbound,
+		Obs:             ob,
 	})
 	if err != nil {
 		log.Fatalf("rpcv-coordinator: %v", err)
@@ -154,8 +169,41 @@ func main() {
 	defer rtm.Close()
 	fmt.Printf("rpcv-coordinator %s listening on %s (ring of %d)\n", *id, rtm.Addr(), len(coordIDs))
 
+	if *admin != "" {
+		adm, err := obs.ServeAdmin(*admin, ob)
+		if err != nil {
+			log.Fatalf("rpcv-coordinator: %v", err)
+		}
+		defer adm.Close()
+		// Status sections read event-loop state; marshal it via rtm.Do so
+		// the HTTP goroutine never touches handler fields directly.
+		adm.Status("coordinator", func() any {
+			var st coordinator.Stats
+			rtm.Do(func() { st = co.StatsNow() })
+			return st
+		})
+		adm.Status("shard_map", func() any {
+			var sm proto.ShardMapState
+			rtm.Do(func() { sm = co.ShardState() })
+			return sm
+		})
+		adm.Status("suspected", func() any {
+			var servers, coords []proto.NodeID
+			rtm.Do(func() {
+				servers = co.SuspectedServers()
+				coords = co.SuspectedCoordinators()
+			})
+			return map[string]any{"servers": servers, "coordinators": coords}
+		})
+		adm.Status("transport", func() any { return rtm.TransportStats() })
+		fmt.Printf("rpcv-coordinator %s admin on http://%s\n", *id, adm.Addr())
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("rpcv-coordinator %s: shutting down", *id)
+	if ob != nil {
+		log.Printf("rpcv-coordinator %s: metrics: %s", *id, ob.Registry().Summary())
+	}
 }

@@ -16,6 +16,11 @@
 // log recovery auto-detect either codec, so mixed clusters and old
 // logs just work.
 //
+// -admin mounts the observability HTTP server (internal/obs) on the
+// given address: /metrics, /statusz, /healthz, /tracez and
+// /debug/pprof/. Empty disables it. On shutdown the daemon prints a
+// one-line metrics summary.
+//
 // The worker pulls tasks from its preferred coordinator with 5-second
 // heartbeats, executes the built-in demo services (echo, upper,
 // reverse, sum, sleep) or synthetic timed tasks, durably logs result
@@ -34,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"rpcv/internal/obs"
 	"rpcv/internal/proto"
 	"rpcv/internal/rt"
 	"rpcv/internal/server"
@@ -55,6 +61,7 @@ func main() {
 	queueDepth := flag.Int("send-queue", 0, "pooled transport per-peer send queue depth (0: default 128)")
 	idleTimeout := flag.Duration("idle-timeout", 0, "pooled transport connection idle timeout (0: default 30s)")
 	maxInbound := flag.Int("max-inbound", 0, "max concurrent inbound connections before shedding (0: default 256)")
+	admin := flag.String("admin", "", "observability HTTP address serving /metrics /statusz /healthz /tracez /debug/pprof/ (empty: disabled)")
 	flag.Parse()
 
 	wireCodec, err := proto.ParseWire(*wire)
@@ -67,6 +74,11 @@ func main() {
 		log.Fatalf("rpcv-server: -coordinators: %v (at least one id=addr required)", err)
 	}
 
+	var ob *obs.Observer
+	if *admin != "" {
+		ob = obs.New(proto.NodeID(*id))
+	}
+
 	sv := server.New(server.Config{
 		Coordinators:     coordIDs,
 		HeartbeatPeriod:  *heartbeat,
@@ -77,6 +89,7 @@ func main() {
 			log.Printf("executed %s", task)
 		},
 		Codec: proto.CodecForWire(wireCodec),
+		Obs:   ob,
 	})
 
 	rtm, err := rt.Start(rt.Config{
@@ -91,6 +104,7 @@ func main() {
 		QueueDepth:      *queueDepth,
 		IdleTimeout:     *idleTimeout,
 		MaxInboundConns: *maxInbound,
+		Obs:             ob,
 	})
 	if err != nil {
 		log.Fatalf("rpcv-server: %v", err)
@@ -99,8 +113,26 @@ func main() {
 	fmt.Printf("rpcv-server %s listening on %s, %d coordinator(s), parallelism %d\n",
 		*id, rtm.Addr(), len(coordIDs), *parallel)
 
+	if *admin != "" {
+		adm, err := obs.ServeAdmin(*admin, ob)
+		if err != nil {
+			log.Fatalf("rpcv-server: %v", err)
+		}
+		defer adm.Close()
+		adm.Status("server", func() any {
+			var st server.Stats
+			rtm.Do(func() { st = sv.StatsNow() })
+			return st
+		})
+		adm.Status("transport", func() any { return rtm.TransportStats() })
+		fmt.Printf("rpcv-server %s admin on http://%s\n", *id, adm.Addr())
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("rpcv-server %s: shutting down", *id)
+	if ob != nil {
+		log.Printf("rpcv-server %s: metrics: %s", *id, ob.Registry().Summary())
+	}
 }

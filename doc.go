@@ -74,6 +74,21 @@
 // blob, so mixed clusters interoperate and gob-era WALs and logs
 // recover under the binary build.
 //
+// internal/obs is the live observability plane: a concurrency-safe
+// labeled metrics registry (atomic counters/gauges and a lock-cheap
+// log-bucketed histogram, all nil-safe so instrumentation costs
+// nothing when disabled), task-lifecycle tracing — every call leaves
+// CallID-correlated span events (submit, enqueue, dispatch, exec,
+// result, durable, ack, plus requeue/steal/speculate/redirect hops) in
+// a fixed-size per-node ring, and an assembler joins per-node dumps
+// into end-to-end timelines and Chrome trace_event JSON — and an admin
+// HTTP endpoint every daemon exposes with -admin: /metrics (Prometheus
+// 0.0.4 text), /statusz (JSON snapshot of the event-loop state),
+// /healthz, /tracez (span-ring dump) and /debug/pprof/. The
+// transport, store, scheduler, coordinator, server and client all
+// register into it, and the comparison experiments read their numbers
+// from the registry instead of ad-hoc counters.
+//
 // See README.md for the package tour and the shard/sched subsystem
 // overviews. The benchmarks in bench_test.go regenerate each figure;
 // cmd/rpcv-bench prints them as tables.

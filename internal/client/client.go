@@ -24,6 +24,7 @@ import (
 	"rpcv/internal/detector"
 	"rpcv/internal/msglog"
 	"rpcv/internal/node"
+	"rpcv/internal/obs"
 	"rpcv/internal/proto"
 	"rpcv/internal/shard"
 	"rpcv/internal/statesync"
@@ -87,6 +88,13 @@ type Config struct {
 	// zero value is the binary codec; recovery auto-detects, so a log
 	// written under either codec replays under either.
 	Codec proto.Codec
+
+	// Obs, when non-nil, receives labeled metrics (submissions,
+	// completions, failovers, syncs, redirects, pending calls,
+	// submit-to-result latency) and per-call lifecycle trace spans
+	// (submit, logged-durable, ack). Nil disables instrumentation at
+	// zero cost.
+	Obs *obs.Observer
 }
 
 func (c *Config) applyDefaults() {
@@ -155,6 +163,16 @@ type Client struct {
 	failovers int
 	syncs     int
 	redirects int
+
+	cm clientMetrics
+}
+
+// clientMetrics holds the client's registered obs instruments. All
+// fields no-op when nil (Config.Obs unset).
+type clientMetrics struct {
+	submitted, completed, results, failovers, syncs, redirects *obs.Counter
+	pending                                                    *obs.Gauge
+	callLatency                                                *obs.Histogram
 }
 
 // New creates a client handler.
@@ -180,6 +198,19 @@ func (c *Client) Start(env node.Env) {
 		Strategy: c.cfg.Logging,
 		Disk:     c.cfg.Disk,
 	})
+	if reg := c.cfg.Obs.Registry(); reg != nil {
+		n := obs.L("node", string(env.Self()))
+		c.cm = clientMetrics{
+			submitted:   reg.Counter("rpcv_client_submitted_total", n),
+			completed:   reg.Counter("rpcv_client_submit_completed_total", n),
+			results:     reg.Counter("rpcv_client_results_total", n),
+			failovers:   reg.Counter("rpcv_client_failovers_total", n),
+			syncs:       reg.Counter("rpcv_client_syncs_total", n),
+			redirects:   reg.Counter("rpcv_client_redirects_total", n),
+			pending:     reg.Gauge("rpcv_client_pending_calls", n),
+			callLatency: reg.Histogram("rpcv_client_call_latency_ns", n),
+		}
+	}
 	c.nextSeq = 0
 	c.recoverFromLog()
 
@@ -197,6 +228,26 @@ func (c *Client) Start(env node.Env) {
 	}
 	c.schedulePoll()
 	c.scheduleAckCheck()
+	c.notePending()
+}
+
+// trace records one lifecycle span for a call on this node's tracer.
+func (c *Client) trace(call proto.CallID, stage obs.Stage, detail string) {
+	c.cfg.Obs.Tracer().EventAt(c.env.Now(), call, stage, detail)
+}
+
+// notePending refreshes the pending-calls gauge. Event-loop only.
+func (c *Client) notePending() {
+	if c.cm.pending == nil {
+		return
+	}
+	n := 0
+	for _, cl := range c.calls {
+		if cl.result == nil {
+			n++
+		}
+	}
+	c.cm.pending.SetInt(n)
 }
 
 // scheduleAckCheck periodically verifies that every submission was
@@ -313,6 +364,7 @@ func (c *Client) onCoordinatorSuspected(id proto.NodeID) {
 	}
 	c.env.Logf("client: suspect coordinator %s, failing over", id)
 	c.failovers++
+	c.cm.failovers.Inc()
 	c.pickPreferred()
 	c.sendSync()
 }
@@ -353,6 +405,9 @@ func (c *Client) SubmitWithDeadline(service string, params []byte, execTime time
 	cl := &call{submit: sub, issued: c.env.Now(), lastResent: c.env.Now()}
 	c.calls[seq] = cl
 	c.submitted++
+	c.cm.submitted.Inc()
+	c.trace(sub.Call, obs.StageSubmit, service)
+	c.notePending()
 	c.sendSubmit(cl)
 	return seq
 }
@@ -365,6 +420,7 @@ func (c *Client) sendSubmit(cl *call) {
 	}
 	c.log.LogAndSend(c.pref, cl.submit, entry, func() {
 		cl.logDone = true
+		c.trace(cl.submit.Call, obs.StageDurable, "submit log")
 		c.maybeComplete(cl)
 	})
 }
@@ -377,6 +433,7 @@ func (c *Client) maybeComplete(cl *call) {
 	}
 	cl.completed = true
 	c.completed++
+	c.cm.completed.Inc()
 	if c.cfg.OnSubmitComplete != nil {
 		c.cfg.OnSubmitComplete(cl.submit.Call.Seq, cl.issued, c.env.Now())
 	}
@@ -456,6 +513,7 @@ func (c *Client) handleShardRedirect(from proto.NodeID, m *proto.ShardRedirect) 
 		return
 	}
 	c.redirects++
+	c.cm.redirects.Inc()
 	updated := false
 	if !m.Map.Empty() && (c.smap == nil || m.Map.Version > c.smap.Version()) {
 		c.smap = shard.FromState(m.Map)
@@ -529,10 +587,22 @@ func (c *Client) handleResults(from proto.NodeID, m *proto.Results) {
 			continue // duplicate delivery
 		}
 		cl.result = &res
+		c.noteResult(cl, res.Call)
 		if c.cfg.OnResult != nil {
 			c.cfg.OnResult(res, c.env.Now())
 		}
 	}
+	c.notePending()
+}
+
+// noteResult records the metrics and the terminal trace span for one
+// newly delivered result.
+func (c *Client) noteResult(cl *call, id proto.CallID) {
+	c.cm.results.Inc()
+	if c.cm.callLatency != nil && !cl.issued.IsZero() {
+		c.cm.callLatency.Observe(int64(c.env.Now().Sub(cl.issued)))
+	}
+	c.trace(id, obs.StageAck, "result delivered")
 }
 
 // ---------------------------------------------------------------------
@@ -546,6 +616,7 @@ func (c *Client) sendSync() {
 		return
 	}
 	c.syncs++
+	c.cm.syncs.Inc()
 	c.syncSentAt = c.env.Now()
 	c.env.Send(c.pref, &proto.SyncRequest{
 		User:    c.cfg.User,
@@ -663,6 +734,8 @@ func (c *Client) handleFetchReply(from proto.NodeID, m *proto.FetchReply) {
 		if cl, ok := c.calls[m.Call.Seq]; ok && cl.result == nil {
 			res := m.Result
 			cl.result = &res
+			c.noteResult(cl, res.Call)
+			c.notePending()
 			if c.cfg.OnResult != nil {
 				c.cfg.OnResult(res, c.env.Now())
 			}

@@ -15,6 +15,7 @@ import (
 	"rpcv/internal/detector"
 	"rpcv/internal/msglog"
 	"rpcv/internal/netmodel"
+	"rpcv/internal/obs"
 	"rpcv/internal/proto"
 	"rpcv/internal/server"
 	"rpcv/internal/shard"
@@ -119,6 +120,12 @@ type Config struct {
 
 	// Trace receives simulator trace output when non-nil.
 	Trace sim.TraceFunc
+
+	// Obs, when non-nil, is a metrics registry shared by every node of
+	// the deployment (each node records under a node="<id>" label and
+	// keeps a private span ring). Experiments read grid-wide aggregates
+	// from it instead of polling per-node counters.
+	Obs *obs.Registry
 }
 
 // Cluster is a running deployment handle.
@@ -228,6 +235,7 @@ func New(cfg Config) *Cluster {
 				}
 				cl.FinishedPerCoord[id]++
 			},
+			Obs: obsFor(id, cfg.Obs),
 		})
 		cl.Coordinators[id] = co
 		cl.World.AddNode(id, co)
@@ -253,6 +261,7 @@ func New(cfg Config) *Cluster {
 			Parallelism:      cfg.Parallelism,
 			SpeedFactor:      speed,
 			Services:         cfg.Services,
+			Obs:              obsFor(id, cfg.Obs),
 		})
 		cl.ServerIDs = append(cl.ServerIDs, id)
 		cl.Servers[id] = sv
@@ -276,6 +285,7 @@ func New(cfg Config) *Cluster {
 					cl.ResultAt[res.Call] = at
 				}
 			},
+			Obs: obsFor(id, cfg.Obs),
 		}
 		if hook := cfg.OnSubmitComplete; hook != nil {
 			cid := id
@@ -305,6 +315,15 @@ func New(cfg Config) *Cluster {
 		cl.World.Start(id)
 	}
 	return cl
+}
+
+// obsFor wraps the shared registry into a per-node Observer; nil
+// registry keeps instrumentation off.
+func obsFor(id proto.NodeID, reg *obs.Registry) *obs.Observer {
+	if reg == nil {
+		return nil
+	}
+	return obs.NewWith(id, reg)
 }
 
 // Client returns the i-th client handle.

@@ -31,6 +31,7 @@ import (
 	"rpcv/internal/db"
 	"rpcv/internal/detector"
 	"rpcv/internal/node"
+	"rpcv/internal/obs"
 	"rpcv/internal/proto"
 	"rpcv/internal/sched"
 	"rpcv/internal/shard"
@@ -119,6 +120,14 @@ type Config struct {
 	// StealBatch caps the tasks moved per steal grant. Zero means
 	// MaxTasksPerAck.
 	StealBatch int
+
+	// Obs, when non-nil, receives the coordinator's live metrics
+	// (counters and gauges labeled node="<self>", plus the scheduling
+	// engine's queue and speed gauges) and CallID-correlated span
+	// events (enqueue, dispatch, result, requeue, speculate, steal,
+	// redirect) on the observer's ring. All instruments are written
+	// from the event loop with plain atomic stores; nil costs nothing.
+	Obs *obs.Observer
 }
 
 func (c *Config) applyDefaults() {
@@ -231,6 +240,18 @@ type Coordinator struct {
 	stolenIn        int // tasks this coordinator stole and ran locally
 	stolenOutTotal  int // pending tasks granted away to a thief shard
 	stolenHome      int // stolen tasks whose result came home via ShardSync
+
+	// cm mirrors the counters above into Config.Obs (every instrument
+	// is a nil-safe no-op when observability is off).
+	cm coordMetrics
+}
+
+// coordMetrics holds the coordinator's obs instruments.
+type coordMetrics struct {
+	submits, accepted, finished, dups, requeues *obs.Counter
+	redirects, adoptions, speculated, specWins  *obs.Counter
+	stolenIn, stolenOut, stolenHome             *obs.Counter
+	sessions, inflight, specInflight, shardIdx  *obs.Gauge
 }
 
 type ongoingInfo struct {
@@ -272,9 +293,12 @@ func (c *Coordinator) Start(env node.Env) {
 	c.env = env
 	c.stopped = false
 	c.store = db.New(c.cfg.DBCost)
+	c.initObs(env)
 	eng, err := sched.New(sched.Config{
 		Policy:          c.cfg.Policy,
 		SpeculateFactor: c.cfg.SpeculateFactor,
+		Obs:             c.cfg.Obs.Registry(),
+		Node:            env.Self(),
 	})
 	if err != nil {
 		env.Logf("coordinator: %v; falling back to fcfs", err)
@@ -318,6 +342,8 @@ func (c *Coordinator) Start(env node.Env) {
 		}
 	}
 
+	c.cm.shardIdx.SetInt(c.shardIdx)
+
 	c.loadEpoch()
 	c.loadStore()
 
@@ -351,6 +377,47 @@ func (c *Coordinator) Start(env node.Env) {
 	// ring suspicion (and recovery from wrong suspicion) works on the
 	// heartbeat timescale even when the replication period is longer.
 	c.beater = detector.NewBeater(env, c.cfg.HeartbeatPeriod, c.ringBeat)
+}
+
+// initObs resolves the coordinator's obs instruments. A nil registry
+// yields nil instruments whose methods no-op, so call sites stay
+// unconditional.
+func (c *Coordinator) initObs(env node.Env) {
+	reg := c.cfg.Obs.Registry()
+	nl := obs.L("node", string(env.Self()))
+	c.cm = coordMetrics{
+		submits:      reg.Counter("rpcv_coord_submits_total", nl),
+		accepted:     reg.Counter("rpcv_coord_jobs_accepted_total", nl),
+		finished:     reg.Counter("rpcv_coord_finished_total", nl),
+		dups:         reg.Counter("rpcv_coord_dup_results_total", nl),
+		requeues:     reg.Counter("rpcv_coord_requeues_total", nl),
+		redirects:    reg.Counter("rpcv_coord_redirects_total", nl),
+		adoptions:    reg.Counter("rpcv_coord_adoptions_total", nl),
+		speculated:   reg.Counter("rpcv_coord_speculated_total", nl),
+		specWins:     reg.Counter("rpcv_coord_spec_wins_total", nl),
+		stolenIn:     reg.Counter("rpcv_coord_steals_in_total", nl),
+		stolenOut:    reg.Counter("rpcv_coord_steals_out_total", nl),
+		stolenHome:   reg.Counter("rpcv_coord_steals_home_total", nl),
+		sessions:     reg.Gauge("rpcv_coord_sessions", nl),
+		inflight:     reg.Gauge("rpcv_coord_inflight", nl),
+		specInflight: reg.Gauge("rpcv_coord_spec_inflight", nl),
+		shardIdx:     reg.Gauge("rpcv_coord_shard_index", nl),
+	}
+}
+
+// trace stamps one span for call on this coordinator's ring (no-op
+// without observability).
+func (c *Coordinator) trace(call proto.CallID, stage obs.Stage, detail string) {
+	if t := c.cfg.Obs.Tracer(); t != nil {
+		t.EventAt(c.env.Now(), call, stage, detail)
+	}
+}
+
+// noteInflight refreshes the in-flight gauges after assignment
+// bookkeeping changes.
+func (c *Coordinator) noteInflight() {
+	c.cm.inflight.SetInt(len(c.ongoing))
+	c.cm.specInflight.SetInt(len(c.spec))
 }
 
 // ringBeat sends a coordinator-role heartbeat to the raw ring successor
@@ -517,6 +584,7 @@ func (c *Coordinator) noteSeq(call proto.CallID) {
 	if call.Seq > c.sessionMax[k] {
 		c.sessionMax[k] = call.Seq
 	}
+	c.cm.sessions.SetInt(len(c.sessionMax))
 }
 
 // ---------------------------------------------------------------------
@@ -525,6 +593,7 @@ func (c *Coordinator) noteSeq(call proto.CallID) {
 
 func (c *Coordinator) handleSubmit(from proto.NodeID, m *proto.Submit) {
 	c.submitsReceived++
+	c.cm.submits.Inc()
 	if !c.ownsSession(m.Call.User, m.Call.Session) {
 		c.sendRedirect(from, m.Call.User, m.Call.Session, m.Call)
 		return
@@ -554,10 +623,12 @@ func (c *Coordinator) handleSubmit(from proto.NodeID, m *proto.Submit) {
 	c.store.Put(rec)
 	c.persistJob(rec)
 	c.enqueue(m.Call)
+	c.trace(m.Call, obs.StageEnqueue, string(from))
 	c.markDirty(m.Call)
 	c.noteSeq(m.Call)
 	c.afterDBCost(func() {
 		c.jobsAccepted++
+		c.cm.accepted.Inc()
 		c.env.Send(from, &proto.SubmitAck{Call: m.Call, MaxSeq: c.maxSeq(m.Call.User, m.Call.Session)})
 	})
 }
@@ -749,6 +820,8 @@ func (c *Coordinator) assign(server proto.NodeID, limit int) []proto.TaskAssignm
 			c.bindToServer(server, call)
 			c.markDirty(call)
 			c.speculated++
+			c.cm.speculated.Inc()
+			c.trace(call, obs.StageSpeculate, string(server))
 			out = append(out, proto.TaskAssignment{
 				Task:       task,
 				Service:    rec.Service,
@@ -774,6 +847,7 @@ func (c *Coordinator) assign(server proto.NodeID, limit int) []proto.TaskAssignm
 		c.ongoing[call] = ongoingInfo{server: server, task: task, assignedAt: now}
 		c.bindToServer(server, call)
 		c.markDirty(call)
+		c.trace(call, obs.StageDispatch, string(server))
 		out = append(out, proto.TaskAssignment{
 			Task:       task,
 			Service:    rec.Service,
@@ -786,6 +860,7 @@ func (c *Coordinator) assign(server proto.NodeID, limit int) []proto.TaskAssignm
 	if len(out) == 0 && limit > 0 && c.eng.Len() == 0 {
 		c.maybeSteal()
 	}
+	c.noteInflight()
 	return out
 }
 
@@ -809,6 +884,7 @@ func (c *Coordinator) handleTaskResult(from proto.NodeID, m *proto.TaskResult) {
 	}
 	if rec.State == proto.TaskFinished {
 		c.dupResults++
+		c.cm.dups.Inc()
 		c.env.Send(from, &proto.TaskResultAck{Task: m.Task})
 		return
 	}
@@ -819,6 +895,7 @@ func (c *Coordinator) handleTaskResult(from proto.NodeID, m *proto.TaskResult) {
 	} else if info, on := c.spec[m.Task.Call]; on && info.server == from {
 		c.observeCompletion(from, rec, info, m.Exec)
 		c.specWins++
+		c.cm.specWins.Inc()
 	}
 	rec.State = proto.TaskFinished
 	rec.Output = m.Output
@@ -831,6 +908,8 @@ func (c *Coordinator) handleTaskResult(from proto.NodeID, m *proto.TaskResult) {
 	c.unqueue(m.Task.Call)
 	c.markDirty(m.Task.Call)
 	c.finished++
+	c.cm.finished.Inc()
+	c.trace(m.Task.Call, obs.StageResult, string(from))
 	if c.cfg.OnJobFinished != nil {
 		c.cfg.OnJobFinished(m.Task.Call, c.env.Now())
 	}
@@ -954,6 +1033,7 @@ func (c *Coordinator) promoteSpeculative(call proto.CallID) bool {
 	}
 	delete(c.spec, call)
 	c.ongoing[call] = info
+	c.noteInflight()
 	return true
 }
 
@@ -984,6 +1064,7 @@ func (c *Coordinator) clearOngoing(call proto.CallID, winner proto.NodeID) {
 	}
 	delete(c.fromPredecessor, call)
 	delete(c.stolenOut, call)
+	c.noteInflight()
 }
 
 // enqueue inserts one pending call into the scheduling engine with its
@@ -1022,6 +1103,8 @@ func (c *Coordinator) requeue(call proto.CallID) bool {
 	c.persistJob(rec)
 	if c.enqueue(call) {
 		c.rescheduled++
+		c.cm.requeues.Inc()
+		c.trace(call, obs.StageRequeue, "")
 	}
 	c.markDirty(call)
 	return true
@@ -1127,6 +1210,7 @@ func (c *Coordinator) handleReplicaUpdate(from proto.NodeID, m *proto.ReplicaUpd
 			c.clearOngoing(rec.Call, rec.Server)
 			c.unqueue(rec.Call)
 			c.finished++
+			c.cm.finished.Inc()
 			if c.cfg.OnJobFinished != nil {
 				c.cfg.OnJobFinished(rec.Call, c.env.Now())
 			}
@@ -1268,6 +1352,10 @@ func (c *Coordinator) ownsSession(user proto.UserID, session proto.SessionID) bo
 // the store.
 func (c *Coordinator) sendRedirect(to proto.NodeID, user proto.UserID, session proto.SessionID, call proto.CallID) {
 	c.redirects++
+	c.cm.redirects.Inc()
+	if call != (proto.CallID{}) {
+		c.trace(call, obs.StageRedirect, fmt.Sprintf("to shard %d", c.smap.Owner(user, session)))
+	}
 	c.env.Send(to, &proto.ShardRedirect{
 		From:    c.env.Self(),
 		User:    user,
@@ -1334,6 +1422,7 @@ func (c *Coordinator) adopt(s int) {
 	}
 	c.adopted[s] = true
 	c.adoptions++
+	c.cm.adoptions.Inc()
 	released := 0
 	for _, call := range sortedCalls(c.fromShard) {
 		if c.fromShard[call] != s {
@@ -1482,6 +1571,7 @@ func (c *Coordinator) handleShardSync(from proto.NodeID, m *proto.ShardSync) {
 			if _, stolen := c.stolenOut[incoming.Call]; stolen {
 				// A job we granted to an idle thief shard came home.
 				c.stolenHome++
+				c.cm.stolenHome.Inc()
 			}
 			rec := incoming.Clone()
 			c.store.Put(rec)
@@ -1491,6 +1581,7 @@ func (c *Coordinator) handleShardSync(from proto.NodeID, m *proto.ShardSync) {
 			c.unqueue(rec.Call)
 			delete(c.fromShard, rec.Call)
 			c.finished++
+			c.cm.finished.Inc()
 			if c.cfg.OnJobFinished != nil {
 				c.cfg.OnJobFinished(rec.Call, c.env.Now())
 			}
@@ -1756,6 +1847,8 @@ func (c *Coordinator) handleStealRequest(from proto.NodeID, m *proto.StealReques
 		c.persistJob(rec)
 		c.stolenOut[call] = stolenOutInfo{shard: m.Shard, grantedAt: now}
 		c.stolenOutTotal++
+		c.cm.stolenOut.Inc()
+		c.trace(call, obs.StageSteal, fmt.Sprintf("granted to shard %d", m.Shard))
 		c.markDirty(call)
 		grant.Jobs = append(grant.Jobs, *rec.Clone())
 		limit--
@@ -1825,6 +1918,8 @@ func (c *Coordinator) handleStealGrant(from proto.NodeID, m *proto.StealGrant) {
 		delete(c.fromShard, rec.Call) // now actively ours, not passive
 		c.enqueue(rec.Call)
 		c.stolenIn++
+		c.cm.stolenIn.Inc()
+		c.trace(rec.Call, obs.StageSteal, "stolen from "+string(from))
 	}
 }
 
@@ -1904,6 +1999,23 @@ func (c *Coordinator) StatsNow() Stats {
 
 // PolicyName returns the active scheduling policy. Event-loop only.
 func (c *Coordinator) PolicyName() string { return c.eng.PolicyName() }
+
+// SuspectedServers returns the servers currently under heartbeat
+// suspicion. Event-loop only (statusz sections fetch it via rt.Do).
+func (c *Coordinator) SuspectedServers() []proto.NodeID { return c.servers.Suspects() }
+
+// SuspectedCoordinators returns the ring members currently under
+// suspicion. Event-loop only.
+func (c *Coordinator) SuspectedCoordinators() []proto.NodeID { return c.ring.Suspects() }
+
+// ShardState returns the shard map's wire state (zero value when
+// unsharded). Event-loop only.
+func (c *Coordinator) ShardState() proto.ShardMapState {
+	if c.smap == nil {
+		return proto.ShardMapState{}
+	}
+	return c.smap.State()
+}
 
 // ShardIndex returns this coordinator's shard, or -1 when unsharded.
 func (c *Coordinator) ShardIndex() int { return c.shardIdx }

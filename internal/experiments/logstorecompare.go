@@ -14,6 +14,7 @@ import (
 	"rpcv/internal/metrics"
 	"rpcv/internal/msglog"
 	"rpcv/internal/node"
+	"rpcv/internal/obs"
 	"rpcv/internal/proto"
 	"rpcv/internal/rt"
 	"rpcv/internal/server"
@@ -47,7 +48,7 @@ func LogStoreCompare(opts Options) Result {
 	}
 	table := metrics.NewTable(
 		"Durable-store comparison: blocking-pessimistic logging under Poisson server kill/restart (1 coordinator, 4 servers, 2 clients, real TCP loopback, real disks)",
-		"store", "codec", "submits/s", "p50-submit", "p99-submit", "acked")
+		"store", "codec", "submits/s", "p50-submit", "p99-submit", "acked", "ops/commit")
 	var throughputs []float64
 	for _, c := range []struct {
 		engine string
@@ -58,7 +59,8 @@ func LogStoreCompare(opts Options) Result {
 		{"wal", proto.CodecBinary},
 	} {
 		r := logStoreRun(opts.Seed, c.engine, c.codec, calls)
-		table.AddRow(c.engine, c.codec.String(), r.throughput, r.lat.P50(), r.lat.P99(), r.acked)
+		table.AddRow(c.engine, c.codec.String(), r.throughput, r.lat.P50(), r.lat.P99(), r.acked,
+			fmt.Sprintf("%.1f", r.opsPerCommit))
 		throughputs = append(throughputs, r.throughput)
 	}
 	ratio := metrics.NewTable("speedups (blocking-pessimistic submission)", "metric", "value")
@@ -73,9 +75,10 @@ func LogStoreCompare(opts Options) Result {
 
 // logStoreRunResult carries one engine's measurements.
 type logStoreRunResult struct {
-	throughput float64 // submit completions per second (durability included)
-	lat        metrics.Histogram
-	acked      int
+	throughput   float64 // submit completions per second (durability included)
+	lat          metrics.Histogram
+	acked        int
+	opsPerCommit float64 // WAL group-commit density, all nodes (0 on "files")
 }
 
 // logStoreRun drives one full grid run on the chosen store engine and
@@ -97,10 +100,14 @@ func logStoreRun(seed int64, engine string, codec proto.Codec, calls int) logSto
 	defer os.RemoveAll(root)
 
 	quiet := func(string, ...any) {}
+	// One registry shared by every node: the run reads the grid's WAL
+	// group-commit density from node-labeled metric sums afterwards.
+	reg := obs.NewRegistry()
 	rtCfg := func(id proto.NodeID, h node.Handler, dir rt.Directory) rt.Config {
 		return rt.Config{ID: id, ListenAddr: "127.0.0.1:0", Handler: h,
 			Directory: dir, Logf: quiet,
-			DiskDir: fmt.Sprintf("%s/%s", root, id), Store: engine}
+			DiskDir: fmt.Sprintf("%s/%s", root, id), Store: engine,
+			Obs: obs.NewWith(id, reg)}
 	}
 
 	co := coordinator.New(coordinator.Config{
@@ -256,6 +263,14 @@ func logStoreRun(seed int64, engine string, codec proto.Codec, calls int) logSto
 		res.throughput = float64(acked) / lastAck.Sub(start).Seconds()
 	}
 	measMu.Unlock()
+
+	// Group-commit density across the whole grid, from the shared
+	// registry (read before Close so scrape-time funcs see live stores).
+	commits := reg.Sum("rpcv_store_wal_commits_total")
+	ops := reg.Sum("rpcv_store_wal_committed_ops_total")
+	if commits > 0 {
+		res.opsPerCommit = ops / commits
+	}
 
 	for _, rcli := range rclis {
 		rcli.Close()

@@ -6,6 +6,7 @@ import (
 	"rpcv/internal/cluster"
 	"rpcv/internal/faultgen"
 	"rpcv/internal/metrics"
+	"rpcv/internal/obs"
 	"rpcv/internal/proto"
 )
 
@@ -92,6 +93,9 @@ func policyRun(seed int64, policy string, tasks, servers int) policyRunResult {
 		}
 		return 1
 	}
+	// One registry shared across the deployment: the run's scheduling
+	// aggregates are node-labeled metric sums, not per-node stat polls.
+	reg := obs.NewRegistry()
 	cl := cluster.New(cluster.Config{
 		Seed:              seed,
 		Coordinators:      2,
@@ -101,6 +105,7 @@ func policyRun(seed int64, policy string, tasks, servers int) policyRunResult {
 		ServerSpeed:       slow,
 		Parallelism:       parallelism,
 		ReplicationPeriod: 10 * time.Second,
+		Obs:               reg,
 	})
 
 	// Warmup: 8 tasks per server guarantees even the slow machines
@@ -145,11 +150,8 @@ func policyRun(seed int64, policy string, tasks, servers int) policyRunResult {
 			r.lat.Add(at.Sub(start))
 		}
 	}
-	for _, co := range cl.Coordinators {
-		st := co.StatsNow()
-		r.speculated += st.Speculated
-		r.rescheduled += st.Rescheduled
-	}
+	r.speculated = int(reg.Sum("rpcv_coord_speculated_total"))
+	r.rescheduled = int(reg.Sum("rpcv_coord_requeues_total"))
 	return r
 }
 
@@ -165,6 +167,7 @@ type stealRunResult struct {
 // deployment (the client's session hashes to a single owner ring) and
 // measures how the idle shard's capacity is — or is not — recruited.
 func stealRun(seed int64, stealing bool, tasks int) stealRunResult {
+	reg := obs.NewRegistry()
 	cl := cluster.New(cluster.Config{
 		Seed:              seed,
 		Shards:            2,
@@ -174,6 +177,7 @@ func stealRun(seed int64, stealing bool, tasks int) stealRunResult {
 		WorkStealing:      stealing,
 		ReplicationPeriod: 5 * time.Second,
 		ShardSyncPeriod:   2 * time.Second,
+		Obs:               reg,
 	})
 	start := cl.World.Now()
 	cl.SubmitBatch(0, tasks, "synthetic", 256, 5*time.Second, 64)
@@ -185,13 +189,8 @@ func stealRun(seed int64, stealing bool, tasks int) stealRunResult {
 	} else {
 		r.makespan = cl.World.Now().Sub(start)
 	}
-	for _, co := range cl.Coordinators {
-		st := co.StatsNow()
-		r.stolen += st.StolenIn
-		r.dupResults += st.DupResults
-	}
-	for _, sv := range cl.Servers {
-		r.executed += sv.StatsNow().Executed
-	}
+	r.stolen = int(reg.Sum("rpcv_coord_steals_in_total"))
+	r.dupResults = int(reg.Sum("rpcv_coord_dup_results_total"))
+	r.executed = int(reg.Sum("rpcv_server_executed_total"))
 	return r
 }

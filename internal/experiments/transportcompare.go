@@ -13,6 +13,7 @@ import (
 	"rpcv/internal/metrics"
 	"rpcv/internal/msglog"
 	"rpcv/internal/node"
+	"rpcv/internal/obs"
 	"rpcv/internal/proto"
 	"rpcv/internal/rt"
 	"rpcv/internal/server"
@@ -84,9 +85,14 @@ func transportRun(seed int64, legacy bool, wire string, calls int) transportRunR
 		downtime = 150 * time.Millisecond
 	)
 	quiet := func(string, ...any) {}
+	// One registry shared by every node in the run: the harness reads
+	// the grid's aggregate transport behaviour from node-labeled metric
+	// sums instead of walking per-runtime ad-hoc counters.
+	reg := obs.NewRegistry()
 	rtCfg := func(id proto.NodeID, h node.Handler, dir rt.Directory) rt.Config {
 		return rt.Config{ID: id, ListenAddr: "127.0.0.1:0", Handler: h,
-			Directory: dir, Logf: quiet, LegacyTransport: legacy, Wire: wire}
+			Directory: dir, Logf: quiet, LegacyTransport: legacy, Wire: wire,
+			Obs: obs.NewWith(id, reg)}
 	}
 	codec := proto.CodecForWire(wire)
 
@@ -96,6 +102,7 @@ func transportRun(seed int64, legacy bool, wire string, calls int) transportRunR
 		HeartbeatTimeout: suspect,
 		DBCost:           db.CostModel{PerOp: 50 * time.Microsecond},
 		Codec:            codec,
+		Obs:              obs.NewWith("co", reg),
 	})
 	rco, err := rt.Start(rtCfg("co", co, nil))
 	if err != nil {
@@ -244,29 +251,27 @@ func transportRun(seed int64, legacy bool, wire string, calls int) transportRunR
 	}
 	measMu.Unlock()
 
-	var sent, flushes uint64
-	collect := func(r *rt.Runtime) {
-		st := r.TransportStats()
-		sent += st.Sent
-		flushes += st.Flushes
+	// The shared registry holds every node's transport counters under
+	// node="<id>" labels; grid-wide aggregates are metric sums, read
+	// before Close so the scrape-time funcs still see live runtimes.
+	sent := reg.Sum("rpcv_transport_sent_total")
+	flushes := reg.Sum("rpcv_transport_flushes_total")
+	if sheds, ok := reg.Value("rpcv_transport_sheds_total", obs.L("node", "co")); ok {
+		res.sheds = uint64(sheds)
 	}
 	for _, rcli := range rclis {
-		collect(rcli)
 		rcli.Close()
 	}
-	collect(rco)
-	res.sheds = rco.TransportStats().Sheds
 	rco.Close()
 	for _, sl := range servers {
 		sl.mu.Lock()
 		if sl.rtm != nil {
-			collect(sl.rtm)
 			sl.rtm.Close()
 		}
 		sl.mu.Unlock()
 	}
 	if flushes > 0 {
-		res.coalescing = float64(sent) / float64(flushes)
+		res.coalescing = sent / flushes
 	}
 	return res
 }

@@ -37,6 +37,7 @@ import (
 
 	"rpcv/internal/client"
 	"rpcv/internal/msglog"
+	"rpcv/internal/obs"
 	"rpcv/internal/proto"
 	"rpcv/internal/rt"
 	"rpcv/internal/shard"
@@ -89,6 +90,10 @@ type Config struct {
 	// deployment (nil: unsharded). The session routes to its owner ring
 	// and follows redirects carrying newer maps automatically.
 	Shard *shard.Map
+	// Obs, when non-nil, wires the session's client and runtime into an
+	// observability plane (metrics registry + lifecycle tracer; see
+	// internal/obs). Nil disables instrumentation.
+	Obs *obs.Observer
 }
 
 // ErrCancelled is returned by Wait when the context ends first.
@@ -189,6 +194,7 @@ func Dial(cfg Config) (*Session, error) {
 		Shard:            cfg.Shard,
 		OnResult:         s.onResult,
 		Codec:            proto.CodecForWire(wire),
+		Obs:              cfg.Obs,
 	})
 
 	id := proto.NodeID(fmt.Sprintf("client-%s-%d", cfg.User, cfg.Session))
@@ -202,6 +208,7 @@ func Dial(cfg Config) (*Session, error) {
 		Logf:            logf,
 		LegacyTransport: cfg.LegacyTransport,
 		Wire:            wire,
+		Obs:             cfg.Obs,
 	})
 	if err != nil {
 		return nil, err

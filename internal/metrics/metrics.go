@@ -16,7 +16,9 @@ import (
 	"time"
 )
 
-// Sample accumulates duration observations.
+// Sample accumulates duration observations. It is a single-goroutine
+// analysis type (no internal locking) — for concurrent recording from
+// live nodes use the atomic obs.Histogram in internal/obs.
 type Sample struct {
 	values []time.Duration
 	// sorted caches the ascending copy Quantile works on, so a
@@ -109,7 +111,9 @@ func (s *Sample) Sum() time.Duration {
 // latency quantiles the scheduling experiments report. Unlike Sample
 // it never stores individual observations, so it is safe for the
 // millions-of-calls workloads the roadmap aims at: memory stays
-// constant and Add is O(1).
+// constant and Add is O(1). Like Sample it is a single-goroutine
+// analysis type (no internal locking); the concurrent variant with the
+// same bucket scheme is obs.Histogram in internal/obs.
 type Histogram struct {
 	counts []uint64
 	n      uint64
@@ -182,6 +186,9 @@ func (h *Histogram) Mean() time.Duration {
 	}
 	return h.sum / time.Duration(h.n)
 }
+
+// Min returns the smallest observation (exact; 0 when empty).
+func (h *Histogram) Min() time.Duration { return h.min }
 
 // Max returns the largest observation (exact).
 func (h *Histogram) Max() time.Duration { return h.max }

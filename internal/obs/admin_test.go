@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	o := New("node-1")
+	o.Registry().Counter("rpcv_test_total", L("node", "node-1")).Add(9)
+	o.Tracer().EventAt(time.Unix(1, 0), callID(1), StageSubmit, "svc")
+
+	adm, err := ServeAdmin("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adm.Close()
+	adm.Status("custom", func() any { return map[string]int{"answer": 42} })
+	base := "http://" + adm.Addr()
+
+	body, ct := get(t, base+"/healthz")
+	if strings.TrimSpace(body) != "ok" {
+		t.Fatalf("healthz = %q", body)
+	}
+	_ = ct
+
+	body, ct = get(t, base+"/metrics")
+	if !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("metrics content type = %q", ct)
+	}
+	if !strings.Contains(body, `rpcv_test_total{node="node-1"} 9`) {
+		t.Fatalf("metrics body:\n%s", body)
+	}
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if !expositionLine.MatchString(line) {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+
+	body, ct = get(t, base+"/statusz")
+	if !strings.Contains(ct, "application/json") {
+		t.Fatalf("statusz content type = %q", ct)
+	}
+	var status struct {
+		Node     string                     `json:"node"`
+		Metrics  []Sample                   `json:"metrics"`
+		Sections map[string]json.RawMessage `json:"sections"`
+	}
+	if err := json.Unmarshal([]byte(body), &status); err != nil {
+		t.Fatalf("statusz JSON: %v\n%s", err, body)
+	}
+	if status.Node != "node-1" || len(status.Metrics) == 0 {
+		t.Fatalf("statusz = %+v", status)
+	}
+	if string(status.Sections["custom"]) == "" {
+		t.Fatalf("statusz missing custom section: %s", body)
+	}
+
+	body, _ = get(t, base+"/tracez")
+	var spans []Span
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatalf("tracez JSON: %v\n%s", err, body)
+	}
+	if len(spans) != 1 || spans[0].Stage != StageSubmit {
+		t.Fatalf("tracez = %+v", spans)
+	}
+
+	body, _ = get(t, base+"/debug/pprof/")
+	if !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index:\n%.200s", body)
+	}
+}
+
+func TestAdminEmptyTracez(t *testing.T) {
+	adm, err := ServeAdmin("127.0.0.1:0", New("n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adm.Close()
+	body, _ := get(t, "http://"+adm.Addr()+"/tracez")
+	if strings.TrimSpace(body) != "[]" {
+		t.Fatalf("empty tracez = %q, want []", body)
+	}
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+
+	"rpcv/internal/proto"
+)
+
+// Timeline is one call's end-to-end story: every span any node
+// recorded for it, time-ordered (ties broken by causal stage rank,
+// then node).
+type Timeline struct {
+	Call  proto.CallID `json:"call"`
+	Spans []Span       `json:"spans"`
+}
+
+// Stage returns the first span with the given stage.
+func (tl Timeline) Stage(s Stage) (Span, bool) {
+	for _, sp := range tl.Spans {
+		if sp.Stage == s {
+			return sp, true
+		}
+	}
+	return Span{}, false
+}
+
+// Has reports whether any span has the given stage.
+func (tl Timeline) Has(s Stage) bool {
+	_, ok := tl.Stage(s)
+	return ok
+}
+
+// Stages lists the timeline's stages in order (repeats preserved:
+// a requeued call dispatches twice).
+func (tl Timeline) Stages() []Stage {
+	out := make([]Stage, len(tl.Spans))
+	for i, sp := range tl.Spans {
+		out[i] = sp.Stage
+	}
+	return out
+}
+
+// Assemble joins per-node span dumps (each node's Tracer.Dump, or a
+// parsed /tracez response) into per-call timelines. Nodes on one
+// machine share a clock, so cross-node ordering by timestamp is
+// meaningful; equal timestamps fall back to stage causality. Timelines
+// come back ordered by their first span's time, then CallID.
+func Assemble(dumps ...[]Span) []Timeline {
+	byCall := map[proto.CallID][]Span{}
+	for _, d := range dumps {
+		for _, s := range d {
+			byCall[s.Call] = append(byCall[s.Call], s)
+		}
+	}
+	out := make([]Timeline, 0, len(byCall))
+	for call, spans := range byCall {
+		sort.SliceStable(spans, func(i, j int) bool {
+			if !spans[i].At.Equal(spans[j].At) {
+				return spans[i].At.Before(spans[j].At)
+			}
+			if ri, rj := stageRank[spans[i].Stage], stageRank[spans[j].Stage]; ri != rj {
+				return ri < rj
+			}
+			return spans[i].Node < spans[j].Node
+		})
+		out = append(out, Timeline{Call: call, Spans: spans})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ti, tj := out[i].Spans[0].At, out[j].Spans[0].At
+		if !ti.Equal(tj) {
+			return ti.Before(tj)
+		}
+		return out[i].Call.Less(out[j].Call)
+	})
+	return out
+}
+
+// chromeEvent is one Chrome trace_event. The format is the
+// chrome://tracing / Perfetto JSON array flavor: instant events ("i")
+// mark each stage on its node's track, one complete event ("X") spans
+// each call from first to last stage, and metadata events ("M") name
+// the tracks.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"` // microseconds
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace renders timelines as Chrome trace_event JSON: load the
+// result in chrome://tracing or https://ui.perfetto.dev. Each node is
+// a process (its spans are instant events on call-numbered threads);
+// pid 0 carries one complete event per call so durations are visible
+// at a glance.
+func ChromeTrace(timelines []Timeline) []byte {
+	if len(timelines) == 0 {
+		return []byte(`{"traceEvents":[]}`)
+	}
+	epoch := timelines[0].Spans[0].At
+	us := func(s Span) int64 { return s.At.Sub(epoch).Microseconds() }
+
+	nodePID := map[proto.NodeID]int{}
+	pidOf := func(n proto.NodeID) int {
+		if pid, ok := nodePID[n]; ok {
+			return pid
+		}
+		pid := len(nodePID) + 1 // pid 0 is the per-call track
+		nodePID[n] = pid
+		return pid
+	}
+
+	var events []chromeEvent
+	events = append(events, chromeEvent{
+		Name: "process_name", Phase: "M", PID: 0,
+		Args: map[string]any{"name": "calls"},
+	})
+	for i, tl := range timelines {
+		call := tl.Call.String()
+		first, last := tl.Spans[0], tl.Spans[len(tl.Spans)-1]
+		dur := last.At.Sub(first.At).Microseconds()
+		if dur < 1 {
+			dur = 1
+		}
+		events = append(events, chromeEvent{
+			Name: call, Phase: "X", TS: us(first), Dur: dur, PID: 0, TID: i,
+			Args: map[string]any{"stages": len(tl.Spans)},
+		})
+		for _, sp := range tl.Spans {
+			args := map[string]any{"call": call}
+			if sp.Detail != "" {
+				args["detail"] = sp.Detail
+			}
+			events = append(events, chromeEvent{
+				Name: string(sp.Stage), Phase: "i", TS: us(sp),
+				PID: pidOf(sp.Node), TID: i, Scope: "t", Args: args,
+			})
+		}
+	}
+	names := make([]proto.NodeID, 0, len(nodePID))
+	for n := range nodePID {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	for _, n := range names {
+		events = append(events, chromeEvent{
+			Name: "process_name", Phase: "M", PID: nodePID[n],
+			Args: map[string]any{"name": string(n)},
+		})
+	}
+	out, err := json.Marshal(map[string]any{"traceEvents": events})
+	if err != nil {
+		// Span fields are all plain JSON-marshalable types; reaching
+		// this is a bug in chromeEvent itself.
+		panic("obs: chrome trace marshal: " + err.Error())
+	}
+	return out
+}

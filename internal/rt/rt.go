@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"rpcv/internal/node"
+	"rpcv/internal/obs"
 	"rpcv/internal/proto"
 	"rpcv/internal/store"
 )
@@ -103,6 +104,14 @@ type Config struct {
 	// flush after each quiet gap may be lost (recovered, as any loss,
 	// by heartbeats and resends). Default 30 s.
 	IdleTimeout time.Duration
+	// Obs, when non-nil, receives runtime metrics: the transport
+	// counters and batch sizes, the store's write-to-durable latency,
+	// and (on the wal engine) the group-commit and snapshot counters,
+	// all labeled node="<ID>". Counters the hot path already maintains
+	// are exposed as scrape-time funcs, so observability costs nothing
+	// per message; the write-latency histogram adds a few atomic adds
+	// per durable write. Nil disables everything.
+	Obs *obs.Observer
 	// MaxInboundConns caps concurrent inbound connections; beyond it,
 	// new connections are shed (accepted, immediately closed, counted
 	// in TransportStats.Sheds) so a slow or malicious peer cannot
@@ -137,6 +146,11 @@ type Runtime struct {
 
 	inbound atomic.Int64
 	stats   transportCounters
+
+	// obsBatch and obsWrite are nil-safe obs instruments (nil when
+	// Config.Obs is): flushed-batch sizes and write-to-durable latency.
+	obsBatch *obs.Histogram
+	obsWrite *obs.Histogram
 
 	mailbox chan func()
 	quit    chan struct{}
@@ -202,6 +216,7 @@ func Start(cfg Config) (*Runtime, error) {
 		r.store = store.NewMemory()
 	}
 	r.disk = &loopDisk{rt: r}
+	r.registerObs()
 
 	if cfg.ListenAddr != "" {
 		ln, err := net.Listen("tcp", cfg.ListenAddr)
@@ -223,6 +238,33 @@ func Start(cfg Config) (*Runtime, error) {
 	env := &rtEnv{rt: r}
 	r.Do(func() { cfg.Handler.Start(env) })
 	return r, nil
+}
+
+// registerObs publishes the runtime's signals into Config.Obs. The
+// transport and WAL counters are already atomics (or mutex-guarded
+// snapshots) the hot path maintains regardless, so they register as
+// scrape-time funcs: zero added cost per message.
+func (r *Runtime) registerObs() {
+	reg := r.cfg.Obs.Registry()
+	if reg == nil {
+		return
+	}
+	nl := obs.L("node", string(r.cfg.ID))
+	reg.CounterFunc("rpcv_transport_sent_total", r.stats.sent.Load, nl)
+	reg.CounterFunc("rpcv_transport_flushes_total", r.stats.flushes.Load, nl)
+	reg.CounterFunc("rpcv_transport_dropped_total", r.stats.dropped.Load, nl)
+	reg.CounterFunc("rpcv_transport_redials_total", r.stats.redials.Load, nl)
+	reg.CounterFunc("rpcv_transport_sheds_total", r.stats.sheds.Load, nl)
+	reg.GaugeFunc("rpcv_transport_inbound_conns", func() float64 { return float64(r.inbound.Load()) }, nl)
+	r.obsBatch = reg.Histogram("rpcv_transport_batch_msgs", nl)
+	r.obsWrite = reg.Histogram("rpcv_store_write_latency_ns", nl)
+	if w, ok := r.store.(interface{ Stats() store.WALStats }); ok {
+		reg.CounterFunc("rpcv_store_wal_commits_total", func() uint64 { return w.Stats().Commits }, nl)
+		reg.CounterFunc("rpcv_store_wal_committed_ops_total", func() uint64 { return w.Stats().CommittedOps }, nl)
+		reg.CounterFunc("rpcv_store_wal_snapshots_total", func() uint64 { return w.Stats().Snapshots }, nl)
+		reg.GaugeFunc("rpcv_store_wal_segments", func() float64 { return float64(w.Stats().Segments) }, nl)
+		reg.GaugeFunc("rpcv_store_wal_replayed_records", func() float64 { return float64(w.Stats().ReplayedRecords) }, nl)
+	}
 }
 
 // Addr returns the bound listen address ("" when not listening).
@@ -568,11 +610,20 @@ type loopDisk struct{ rt *Runtime }
 
 var _ node.BatchDisk = (*loopDisk)(nil)
 
-func (d *loopDisk) Write(key string, value []byte) error { return d.rt.store.Write(key, value) }
-func (d *loopDisk) Read(key string) ([]byte, bool)       { return d.rt.store.Read(key) }
-func (d *loopDisk) Delete(key string) error              { return d.rt.store.Delete(key) }
-func (d *loopDisk) Keys(prefix string) []string          { return d.rt.store.Keys(prefix) }
-func (d *loopDisk) Sync() error                          { return d.rt.store.Sync() }
+func (d *loopDisk) Write(key string, value []byte) error {
+	if h := d.rt.obsWrite; h != nil {
+		start := time.Now()
+		err := d.rt.store.Write(key, value)
+		h.Since(start)
+		return err
+	}
+	return d.rt.store.Write(key, value)
+}
+
+func (d *loopDisk) Read(key string) ([]byte, bool) { return d.rt.store.Read(key) }
+func (d *loopDisk) Delete(key string) error        { return d.rt.store.Delete(key) }
+func (d *loopDisk) Keys(prefix string) []string    { return d.rt.store.Keys(prefix) }
+func (d *loopDisk) Sync() error                    { return d.rt.store.Sync() }
 
 func (d *loopDisk) WriteAsync(key string, value []byte, done func(error)) {
 	if done == nil {
@@ -586,6 +637,17 @@ func (d *loopDisk) WriteAsync(key string, value []byte, done func(error)) {
 	// is full. Detect completion-before-return and invoke done inline
 	// (still on the event loop); only callbacks arriving later — from
 	// a committer goroutine — are marshalled through the mailbox.
+	if h := d.rt.obsWrite; h != nil {
+		// Completion time includes group-commit queueing: the latency a
+		// handler actually waits for durability, which is the number
+		// the fsync-amortization story must be judged by.
+		start := time.Now()
+		inner := done
+		done = func(err error) {
+			h.Since(start)
+			inner(err)
+		}
+	}
 	st := &asyncWriteState{}
 	d.rt.store.WriteAsync(key, value, func(err error) {
 		st.mu.Lock()

@@ -296,6 +296,7 @@ func (s *sender) run() {
 			}
 			s.rt.stats.sent.Add(uint64(framed))
 			s.rt.stats.flushes.Add(1)
+			s.rt.obsBatch.Observe(int64(framed))
 		}
 		resetTimer(idle, s.rt.cfg.IdleTimeout)
 	}

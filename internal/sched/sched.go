@@ -39,6 +39,7 @@ import (
 	"sort"
 	"time"
 
+	"rpcv/internal/obs"
 	"rpcv/internal/proto"
 )
 
@@ -74,6 +75,15 @@ type Config struct {
 	// Alpha is the estimator's EWMA smoothing factor in (0, 1].
 	// Zero means 0.3.
 	Alpha float64
+
+	// Obs, when non-nil, receives scheduling gauges labeled
+	// node="<Node>": rpcv_sched_queue_depth, rpcv_sched_spec_queue_depth
+	// and per-server rpcv_sched_server_slowdown (EWMA factor, 1 =
+	// nominal). Gauge writes are atomic stores on paths the engine
+	// already walks; nil costs nothing.
+	Obs *obs.Registry
+	// Node labels this engine's gauges — the owning coordinator's ID.
+	Node proto.NodeID
 }
 
 func (c *Config) applyDefaults() {
@@ -188,6 +198,11 @@ type Engine struct {
 	// starvation bypass compares against it, so a queue that keeps
 	// flowing through fast servers never counts as starving.
 	lastPop time.Time
+
+	// Observability gauges (nil-safe no-ops when Config.Obs is nil).
+	gQueue      *obs.Gauge
+	gSpec       *obs.Gauge
+	speedGauges map[proto.NodeID]*obs.Gauge
 }
 
 type specEntry struct {
@@ -212,7 +227,45 @@ func New(cfg Config) (*Engine, error) {
 		slots:  make(map[proto.NodeID]int),
 	}
 	e.pending.engine = e
+	if cfg.Obs != nil {
+		nl := obs.L("node", string(cfg.Node))
+		e.gQueue = cfg.Obs.Gauge("rpcv_sched_queue_depth", nl)
+		e.gSpec = cfg.Obs.Gauge("rpcv_sched_spec_queue_depth", nl)
+		e.speedGauges = make(map[proto.NodeID]*obs.Gauge)
+	}
 	return e, nil
+}
+
+// noteDepths refreshes the queue-depth gauges after any queue change.
+func (e *Engine) noteDepths() {
+	e.gQueue.SetInt(len(e.queued))
+	e.gSpec.SetInt(len(e.inSpec))
+}
+
+// speedGauge lazily registers the per-server slowdown gauge.
+func (e *Engine) speedGauge(server proto.NodeID) *obs.Gauge {
+	if e.speedGauges == nil {
+		return nil
+	}
+	g, ok := e.speedGauges[server]
+	if !ok {
+		g = e.cfg.Obs.Gauge("rpcv_sched_server_slowdown",
+			obs.L("node", string(e.cfg.Node)), obs.L("server", string(server)))
+		e.speedGauges[server] = g
+	}
+	return g
+}
+
+// noteSpeed publishes the server's current slowdown estimate.
+func (e *Engine) noteSpeed(server proto.NodeID) {
+	if e.speedGauges == nil {
+		return
+	}
+	f, ok := e.est.factorOf(server)
+	if !ok {
+		f = 0 // no estimate (forgotten or never observed)
+	}
+	e.speedGauge(server).Set(f)
 }
 
 // PolicyName returns the active policy's name.
@@ -242,6 +295,7 @@ func (e *Engine) Enqueue(call proto.CallID, exec time.Duration, deadline time.Ti
 	t := &Task{Call: call, Exec: exec, Deadline: deadline, Enqueued: now, seq: e.seq}
 	e.queued[call] = t
 	heap.Push(&e.pending, t)
+	e.noteDepths()
 	return true
 }
 
@@ -250,6 +304,7 @@ func (e *Engine) Enqueue(call proto.CallID, exec time.Duration, deadline time.Ti
 func (e *Engine) Unqueue(call proto.CallID) {
 	delete(e.queued, call)
 	delete(e.inSpec, call)
+	e.noteDepths()
 }
 
 // EnqueueSpec queues a speculative duplicate of an in-flight call,
@@ -264,6 +319,7 @@ func (e *Engine) EnqueueSpec(call proto.CallID, exclude proto.NodeID) bool {
 	}
 	e.inSpec[call] = true
 	e.spec = append(e.spec, specEntry{call: call, exclude: exclude})
+	e.noteDepths()
 	return true
 }
 
@@ -289,6 +345,7 @@ func (e *Engine) Pop(server proto.NodeID, now time.Time) (call proto.CallID, spe
 		}
 		e.spec = append(e.spec[:i], e.spec[i+1:]...)
 		delete(e.inSpec, entry.call)
+		e.noteDepths()
 		return entry.call, true, true
 	}
 	for e.pending.Len() > 0 {
@@ -303,6 +360,7 @@ func (e *Engine) Pop(server proto.NodeID, now time.Time) (call proto.CallID, spe
 		heap.Pop(&e.pending)
 		delete(e.queued, head.Call)
 		e.lastPop = now
+		e.noteDepths()
 		return head.Call, false, true
 	}
 	return proto.CallID{}, false, false
@@ -331,6 +389,7 @@ func (e *Engine) PopSteal() (proto.CallID, bool) {
 		delete(e.queued, head.Call)
 		// Steals deliberately do not touch lastPop: feeding another
 		// shard must not mask local starvation.
+		e.noteDepths()
 		return head.Call, true
 	}
 	return proto.CallID{}, false
@@ -341,6 +400,7 @@ func (e *Engine) PopSteal() (proto.CallID, bool) {
 // the observed assignment-to-result duration on server.
 func (e *Engine) ObserveCompletion(server proto.NodeID, expected, actual time.Duration) {
 	e.est.observe(server, expected, actual)
+	e.noteSpeed(server)
 }
 
 // NoteSlots records a server's advertised concurrent task capacity
@@ -359,6 +419,7 @@ func (e *Engine) NoteSlots(server proto.NodeID, n int) {
 func (e *Engine) ForgetServer(server proto.NodeID) {
 	delete(e.est.factor, server)
 	delete(e.slots, server)
+	e.noteSpeed(server)
 }
 
 // NeedsSweep reports whether the coordinator should run the periodic
@@ -375,6 +436,7 @@ func (e *Engine) NeedsSweep() bool {
 // complete anything, yet must still be classified.
 func (e *Engine) ObserveLateness(server proto.NodeID, expected, age time.Duration) {
 	e.est.observeLate(server, expected, age)
+	e.noteSpeed(server)
 }
 
 // ServerFactor returns the server's estimated slowdown factor (1 =

@@ -24,6 +24,7 @@ import (
 
 	"rpcv/internal/detector"
 	"rpcv/internal/node"
+	"rpcv/internal/obs"
 	"rpcv/internal/proto"
 	"rpcv/internal/statesync"
 )
@@ -73,6 +74,12 @@ type Config struct {
 	// codec; recovery auto-detects, so logs written under either codec
 	// replay under either.
 	Codec proto.Codec
+
+	// Obs, when non-nil, receives the server's live metrics (labeled
+	// node="<self>") and span events: exec when a task's service body
+	// finishes, logged-durable when its result hits the durable log.
+	// Nil costs nothing.
+	Obs *obs.Observer
 }
 
 func (c *Config) applyDefaults() {
@@ -133,6 +140,17 @@ type Server struct {
 	dedup     int // assignments skipped because already running/done
 	discarded int // cancelled instances whose execution was thrown away
 	failovers int
+
+	// sm mirrors the counters above into Config.Obs (nil-safe no-ops
+	// when observability is off).
+	sm serverMetrics
+}
+
+// serverMetrics holds the server's obs instruments.
+type serverMetrics struct {
+	executed, uploaded, dedup, discarded, failovers *obs.Counter
+	running, backlog, unacked                       *obs.Gauge
+	execTime                                        *obs.Histogram
 }
 
 // New creates a server handler.
@@ -162,6 +180,20 @@ func (s *Server) Start(env node.Env) {
 	s.preferred = ""
 	s.needSync = false
 
+	reg := s.cfg.Obs.Registry()
+	nl := obs.L("node", string(env.Self()))
+	s.sm = serverMetrics{
+		executed:  reg.Counter("rpcv_server_executed_total", nl),
+		uploaded:  reg.Counter("rpcv_server_uploaded_total", nl),
+		dedup:     reg.Counter("rpcv_server_dedup_total", nl),
+		discarded: reg.Counter("rpcv_server_discarded_total", nl),
+		failovers: reg.Counter("rpcv_server_failovers_total", nl),
+		running:   reg.Gauge("rpcv_server_running", nl),
+		backlog:   reg.Gauge("rpcv_server_backlog", nl),
+		unacked:   reg.Gauge("rpcv_server_unacked", nl),
+		execTime:  reg.Histogram("rpcv_server_exec_ns", nl),
+	}
+
 	s.loadResultLog()
 	// Every incarnation synchronizes with its coordinator before asking
 	// for work: the peer-wise log comparison re-offers unacked results
@@ -176,6 +208,22 @@ func (s *Server) Start(env node.Env) {
 	})
 	s.pickPreferred()
 	s.beater = detector.NewBeater(env, s.cfg.HeartbeatPeriod, s.beat)
+	s.noteLoad()
+}
+
+// trace stamps one span for call on this server's ring (no-op without
+// observability).
+func (s *Server) trace(call proto.CallID, stage obs.Stage, detail string) {
+	if t := s.cfg.Obs.Tracer(); t != nil {
+		t.EventAt(s.env.Now(), call, stage, detail)
+	}
+}
+
+// noteLoad refreshes the load gauges after task bookkeeping changes.
+func (s *Server) noteLoad() {
+	s.sm.running.SetInt(len(s.running))
+	s.sm.backlog.SetInt(len(s.backlog))
+	s.sm.unacked.SetInt(len(s.unacked))
 }
 
 // Stop implements node.Handler.
@@ -238,6 +286,7 @@ func (s *Server) onCoordinatorSuspected(id proto.NodeID) {
 	}
 	s.env.Logf("server: suspect coordinator %s, failing over", id)
 	s.failovers++
+	s.sm.failovers.Inc()
 	s.pickPreferred()
 }
 
@@ -374,6 +423,7 @@ func (s *Server) handleResultAck(from proto.NodeID, m *proto.TaskResultAck) {
 	delete(s.unacked, m.Task)
 	delete(s.nextRetry, m.Task)
 	delete(s.attempts, m.Task)
+	s.noteLoad()
 	// The coordinator holds the result durably: garbage-collect the
 	// local log entry (distributed GC of message logs).
 	s.dropResultLog(m.Task)
@@ -400,6 +450,8 @@ func (s *Server) handleCancel(from proto.NodeID, m *proto.TaskCancel) {
 		if s.backlog[i].Task == m.Task {
 			s.backlog = append(s.backlog[:i], s.backlog[i+1:]...)
 			s.discarded++
+			s.sm.discarded.Inc()
+			s.noteLoad()
 			return
 		}
 	}
@@ -413,6 +465,8 @@ func (s *Server) handleCancel(from proto.NodeID, m *proto.TaskCancel) {
 		delete(s.running, m.Task)
 		delete(s.started, m.Task)
 		s.discarded++
+		s.sm.discarded.Inc()
+		s.noteLoad()
 		s.pullMoreWork()
 		return
 	}
@@ -424,6 +478,8 @@ func (s *Server) handleCancel(from proto.NodeID, m *proto.TaskCancel) {
 		delete(s.attempts, m.Task)
 		s.dropResultLog(m.Task)
 		s.discarded++
+		s.sm.discarded.Inc()
+		s.noteLoad()
 	}
 }
 
@@ -451,11 +507,13 @@ func (s *Server) handleSyncReply(from proto.NodeID, m *proto.ServerSyncReply) {
 func (s *Server) startTask(t *proto.TaskAssignment) {
 	if s.running[t.Task] {
 		s.dedup++
+		s.sm.dedup.Inc()
 		return
 	}
 	if res, done := s.haveResultFor(t.Task.Call); done {
 		// Already executed (another instance): resend, don't recompute.
 		s.dedup++
+		s.sm.dedup.Inc()
 		s.env.Send(s.preferred, res)
 		return
 	}
@@ -463,16 +521,19 @@ func (s *Server) startTask(t *proto.TaskAssignment) {
 		// Another instance of the same call is already executing here
 		// (a spurious reschedule); its result will serve both.
 		s.dedup++
+		s.sm.dedup.Inc()
 		return
 	}
 	if len(s.running) >= s.cfg.Parallelism {
 		// Over-assignment (two heartbeat replies in flight both granted
 		// work): queue locally and run when capacity frees.
 		s.backlog = append(s.backlog, *t)
+		s.noteLoad()
 		return
 	}
 	s.running[t.Task] = true
 	s.started[t.Task] = s.env.Now()
+	s.noteLoad()
 	ta := *t // copy: the execution closure must not alias the ack buffer
 	if ta.ExecTime > 0 {
 		// Synthetic or timed service: charge virtual execution time,
@@ -528,17 +589,24 @@ func (s *Server) completeTask(t *proto.TaskAssignment) {
 		delete(s.started, t.Task)
 	}
 	s.executed++
+	s.sm.executed.Inc()
+	s.sm.execTime.ObserveDuration(exec)
+	s.trace(t.Task.Call, obs.StageExec, exec.String())
 	if s.cfg.OnTaskDone != nil {
 		s.cfg.OnTaskDone(t.Task, s.env.Now())
 	}
 	res := &proto.TaskResult{From: s.env.Self(), Task: t.Task, Output: output, Err: errStr, Exec: exec}
 	if err := s.env.Disk().Write(s.resultKey(t.Task), s.cfg.Codec.EncodeMessage(res)); err != nil {
 		s.env.Logf("server: log result %s: %v", t.Task, err)
+	} else {
+		s.trace(t.Task.Call, obs.StageDurable, "result log")
 	}
 	s.unacked[t.Task] = res
 	s.env.Send(s.preferred, res)
 	s.bumpRetry(t.Task, s.env.Now())
 	s.uploaded++
+	s.sm.uploaded.Inc()
+	s.noteLoad()
 	s.pullMoreWork()
 }
 

@@ -135,6 +135,9 @@ type WALStats struct {
 	ReplayedRecords uint64
 	// Snapshots counts snapshots taken since Open.
 	Snapshots uint64
+	// Segments is the number of live log segments not yet covered by a
+	// snapshot — the replay work a crash right now would pay.
+	Segments uint64
 }
 
 // Stats returns a snapshot of the counters.
@@ -146,6 +149,7 @@ func (w *WAL) Stats() WALStats {
 		CommittedOps:    w.committedOps,
 		ReplayedRecords: w.replayedRecords,
 		Snapshots:       w.snapshots,
+		Segments:        w.segID - w.snapID,
 	}
 }
 
