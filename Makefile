@@ -11,10 +11,13 @@
 #   make race       race-detect the runtime, store engines and codec
 #   make obs        race-detect the observability plane (registry,
 #                   tracer, admin endpoints, live-grid acceptance)
+#   make mon        race-detect the fleet monitor + flight recorder
+#                   (parser golden tests, SLO grading, kill-and-bundle
+#                   grid acceptance)
 
 GO ?= go
 
-.PHONY: all vet build test bench smoke shard sched transport store wire race obs ci
+.PHONY: all vet build test bench smoke shard sched transport store wire race obs mon ci
 
 all: vet build test
 
@@ -32,6 +35,9 @@ race:
 
 obs:
 	$(GO) test -race ./internal/obs/...
+
+mon:
+	$(GO) test -race ./internal/obs/fleet/... ./internal/cluster/...
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

@@ -26,9 +26,10 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,10,11, ablation-*, shard-scale, sched-compare, transport-compare, log-store-compare, or all")
 	quick := flag.Bool("quick", false, "reduced sweeps and populations")
 	seed := flag.Int64("seed", 2004, "random seed")
+	bundles := flag.String("bundles", "", "flight-bundle directory for the wall-clock compare experiments' fleet watcher (empty: no bundles)")
 	flag.Parse()
 
-	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	opts := experiments.Options{Seed: *seed, Quick: *quick, BundleDir: *bundles}
 	runners := map[string]func(experiments.Options) experiments.Result{
 		"4": experiments.Fig4, "5": experiments.Fig5, "6": experiments.Fig6,
 		"7": experiments.Fig7, "8": experiments.Fig8, "9": experiments.Fig9,

@@ -122,6 +122,7 @@ func main() {
 			log.Fatalf("rpcv-client: %v", err)
 		}
 		defer adm.Close()
+		adm.Health(func() error { return sess.Ping(500 * time.Millisecond) })
 		adm.Status("client", func() any { return sess.Stats() })
 		fmt.Printf("admin on http://%s\n", adm.Addr())
 	}

@@ -175,6 +175,9 @@ func main() {
 			log.Fatalf("rpcv-coordinator: %v", err)
 		}
 		defer adm.Close()
+		// /healthz answers 503 when the event loop stops taking work:
+		// liveness is proven per probe, not assumed from the socket.
+		adm.Health(func() error { return rtm.Ping(500 * time.Millisecond) })
 		// Status sections read event-loop state; marshal it via rtm.Do so
 		// the HTTP goroutine never touches handler fields directly.
 		adm.Status("coordinator", func() any {

@@ -119,6 +119,7 @@ func main() {
 			log.Fatalf("rpcv-server: %v", err)
 		}
 		defer adm.Close()
+		adm.Health(func() error { return rtm.Ping(500 * time.Millisecond) })
 		adm.Status("server", func() any {
 			var st server.Stats
 			rtm.Do(func() { st = sv.StatsNow() })

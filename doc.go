@@ -89,6 +89,23 @@
 // register into it, and the comparison experiments read their numbers
 // from the registry instead of ad-hoc counters.
 //
+// internal/obs/fleet closes the loop with a cluster monitor and flight
+// recorder, run as the fourth daemon cmd/rpcv-mon: it scrapes every
+// node's admin endpoint (/metrics + /healthz) on an interval, keeps
+// fixed-capacity rolling time series per metric with counter-reset-
+// tolerant rate derivation, and grades the fleet against a declarative
+// health/SLO model — per-node event-loop liveness, redial/shed rates
+// and WAL commit p99; per-shard queue depth, requeue rate and dispatch
+// p99 burn. Verdicts serve at /clusterz (JSON or a human text table)
+// and a live terminal top view. On a node death, a new critical
+// breach, or SIGQUIT, the flight recorder captures a post-mortem
+// bundle: assembled cross-node timelines (via /tracez + Assemble),
+// Chrome trace JSON, every node's metric history rings, raw
+// expositions, statusz snapshots and pprof profiles, all in one
+// timestamped directory. The simulated cluster harness and the
+// wall-clock comparison experiments wire into the same monitor, so
+// chaos runs get fleet grading and post-mortems for free.
+//
 // See README.md for the package tour and the shard/sched subsystem
 // overviews. The benchmarks in bench_test.go regenerate each figure;
 // cmd/rpcv-bench prints them as tables.

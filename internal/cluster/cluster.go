@@ -146,6 +146,13 @@ type Cluster struct {
 	Servers      map[proto.NodeID]*server.Server
 	Clients      map[proto.NodeID]*client.Client
 
+	// Obs is the deployment's shared metrics registry (nil when the
+	// deployment runs without observability), and Observers the
+	// per-node handles built on it — the cluster-side feed of the fleet
+	// monitor (see FleetSources).
+	Obs       *obs.Registry
+	Observers map[proto.NodeID]*obs.Observer
+
 	// FinishedAt records, per call, the virtual time its result first
 	// reached any coordinator (for completed-task time series).
 	FinishedAt map[proto.CallID]time.Time
@@ -188,6 +195,8 @@ func New(cfg Config) *Cluster {
 
 	cl := &Cluster{
 		Net:              cfg.Net,
+		Obs:              cfg.Obs,
+		Observers:        make(map[proto.NodeID]*obs.Observer),
 		Coordinators:     make(map[proto.NodeID]*coordinator.Coordinator),
 		Servers:          make(map[proto.NodeID]*server.Server),
 		Clients:          make(map[proto.NodeID]*client.Client),
@@ -235,7 +244,7 @@ func New(cfg Config) *Cluster {
 				}
 				cl.FinishedPerCoord[id]++
 			},
-			Obs: obsFor(id, cfg.Obs),
+			Obs: cl.obsFor(id, cfg.Obs),
 		})
 		cl.Coordinators[id] = co
 		cl.World.AddNode(id, co)
@@ -261,7 +270,7 @@ func New(cfg Config) *Cluster {
 			Parallelism:      cfg.Parallelism,
 			SpeedFactor:      speed,
 			Services:         cfg.Services,
-			Obs:              obsFor(id, cfg.Obs),
+			Obs:              cl.obsFor(id, cfg.Obs),
 		})
 		cl.ServerIDs = append(cl.ServerIDs, id)
 		cl.Servers[id] = sv
@@ -285,7 +294,7 @@ func New(cfg Config) *Cluster {
 					cl.ResultAt[res.Call] = at
 				}
 			},
-			Obs: obsFor(id, cfg.Obs),
+			Obs: cl.obsFor(id, cfg.Obs),
 		}
 		if hook := cfg.OnSubmitComplete; hook != nil {
 			cid := id
@@ -317,13 +326,16 @@ func New(cfg Config) *Cluster {
 	return cl
 }
 
-// obsFor wraps the shared registry into a per-node Observer; nil
-// registry keeps instrumentation off.
-func obsFor(id proto.NodeID, reg *obs.Registry) *obs.Observer {
+// obsFor wraps the shared registry into a per-node Observer and
+// retains it on the cluster (the fleet monitor reads span rings from
+// there); nil registry keeps instrumentation off.
+func (c *Cluster) obsFor(id proto.NodeID, reg *obs.Registry) *obs.Observer {
 	if reg == nil {
 		return nil
 	}
-	return obs.NewWith(id, reg)
+	ob := obs.NewWith(id, reg)
+	c.Observers[id] = ob
+	return ob
 }
 
 // Client returns the i-th client handle.

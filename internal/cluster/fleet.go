@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"fmt"
+
+	"rpcv/internal/obs"
+	"rpcv/internal/obs/fleet"
+	"rpcv/internal/proto"
+)
+
+// FleetSources exposes every node of the deployment as a fleet scrape
+// source, no HTTP involved: samples come straight from the shared
+// registry (filtered to the node's label), liveness from the
+// simulator's own crash state, and span rings from the retained
+// per-node observers. A crashed node fails its scrape — exactly how
+// an unreachable admin endpoint looks to rpcv-mon — so the monitor's
+// Down grading exercises the same path in simulation as over TCP.
+//
+// Requires the deployment to run with Config.Obs set.
+func (c *Cluster) FleetSources() []fleet.Source {
+	ids := make([]proto.NodeID, 0, len(c.CoordinatorIDs)+len(c.ServerIDs)+len(c.ClientIDs))
+	ids = append(ids, c.CoordinatorIDs...)
+	ids = append(ids, c.ServerIDs...)
+	ids = append(ids, c.ClientIDs...)
+
+	out := make([]fleet.Source, 0, len(ids))
+	for _, id := range ids {
+		id := id
+		ob := c.Observers[id]
+		out = append(out, &fleet.FuncSource{
+			Node: id,
+			Fetch: func() ([]fleet.Sample, error) {
+				if !c.World.IsUp(id) {
+					return nil, fmt.Errorf("node %s is down", id)
+				}
+				if c.Obs == nil {
+					return nil, fmt.Errorf("cluster: no shared registry (Config.Obs unset)")
+				}
+				return fleet.SamplesFromRegistry(c.Obs, id), nil
+			},
+			Trace: func() []obs.Span { return ob.Tracer().Dump() },
+		})
+	}
+	return out
+}
+
+// FleetMonitor builds a fleet monitor over the deployment. cfg.Sources
+// is filled from FleetSources when empty; drive rounds with
+// Poll(c.World.Now()) at the simulation points of interest (the
+// monitor's own Start loop is wall-clock and useless under a virtual
+// clock).
+func (c *Cluster) FleetMonitor(cfg fleet.Config) *fleet.Monitor {
+	if len(cfg.Sources) == 0 {
+		cfg.Sources = c.FleetSources()
+	}
+	return fleet.New(cfg)
+}

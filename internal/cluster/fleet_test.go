@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rpcv/internal/obs"
+	"rpcv/internal/obs/fleet"
+)
+
+// The simulated deployment feeds the same monitor rpcv-mon runs over
+// TCP: registry-backed scrapes, crash-driven liveness, shard verdicts
+// from the coordinators' own metrics — chaos runs get fleet grading
+// without HTTP.
+func TestFleetMonitorOverSimCluster(t *testing.T) {
+	reg := obs.NewRegistry()
+	cl := New(Config{
+		Seed:         21,
+		Shards:       2,
+		Coordinators: 1,
+		Servers:      4,
+		Clients:      1,
+		Obs:          reg,
+	})
+	mon := cl.FleetMonitor(fleet.Config{Interval: time.Second})
+
+	const n = 16
+	cl.SubmitBatch(0, n, "synthetic", 64, time.Second, 32)
+	if !cl.RunUntilResults(0, n, 30*time.Minute) {
+		t.Fatalf("only %d/%d results", cl.Client(0).ResultCount(), n)
+	}
+
+	v := mon.Poll(cl.World.Now())
+	if v.Level != fleet.LevelOK {
+		t.Fatalf("healthy deployment graded %v: %+v", v.Level, v)
+	}
+	wantNodes := 2 + 4 + 1
+	if len(v.Nodes) != wantNodes {
+		t.Fatalf("verdict covers %d nodes, want %d", len(v.Nodes), wantNodes)
+	}
+	// Both coordinator rings surface as shard verdicts with their own
+	// indices.
+	if len(v.Shards) != 2 {
+		t.Fatalf("shard verdicts = %+v, want 2", v.Shards)
+	}
+	// Every node kind was role-detected from its metric names.
+	roles := map[string]int{}
+	for _, nv := range v.Nodes {
+		roles[nv.Role]++
+	}
+	if roles["coordinator"] != 2 || roles["server"] != 4 || roles["client"] != 1 {
+		t.Fatalf("roles = %v", roles)
+	}
+
+	// Crash one server: its scrape fails like an unreachable admin
+	// endpoint, and the default two-round streak grades it down.
+	victim := ServerID(0)
+	cl.World.Crash(victim)
+	mon.Poll(cl.World.Now().Add(time.Second))
+	v = mon.Poll(cl.World.Now().Add(2 * time.Second))
+	nv, ok := v.Node(victim)
+	if !ok || nv.Level != fleet.LevelDown {
+		t.Fatalf("crashed server graded %+v (ok=%v), want down", nv, ok)
+	}
+	if v.Level != fleet.LevelDown {
+		t.Fatalf("fleet level = %v, want down", v.Level)
+	}
+
+	// Crash a whole ring: its coordinator drops out of the shard
+	// verdicts (a down node contributes no fresh aggregates), and the
+	// text rendering names the casualties.
+	cl.CrashRing(1)
+	mon.Poll(cl.World.Now().Add(3 * time.Second))
+	v = mon.Poll(cl.World.Now().Add(4 * time.Second))
+	downCoords := 0
+	for _, id := range cl.ShardRing(1) {
+		if nv, _ := v.Node(id); nv.Level == fleet.LevelDown {
+			downCoords++
+		}
+	}
+	if downCoords != 1 {
+		t.Fatalf("ring-1 down coordinators = %d, want 1", downCoords)
+	}
+	text := fleet.Text(v)
+	if !strings.Contains(text, string(victim)) || !strings.Contains(text, "down") {
+		t.Fatalf("text verdict misses casualties:\n%s", text)
+	}
+
+	// The span rings the cluster retained feed timelines: the monitor's
+	// trace sources must assemble at least the completed calls.
+	hist := mon.History()
+	if len(hist[victim]) == 0 {
+		t.Fatal("no retained history for the crashed server")
+	}
+}

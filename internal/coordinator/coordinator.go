@@ -179,6 +179,11 @@ type Coordinator struct {
 	// fromPredecessor marks calls learned as "ongoing" via replication:
 	// they are not scheduled until the predecessor is suspected.
 	fromPredecessor map[proto.CallID]bool
+	// queuedAt stamps each pending call's (re)queue time so the
+	// dispatch-latency histogram — queue wait, the fleet monitor's
+	// per-shard SLO signal — can be observed at assignment. Maintained
+	// only when observability is on.
+	queuedAt map[proto.CallID]time.Time
 
 	servers *detector.Monitor // suspicion of servers
 	ring    *detector.Monitor // suspicion of fellow coordinators
@@ -252,6 +257,7 @@ type coordMetrics struct {
 	redirects, adoptions, speculated, specWins  *obs.Counter
 	stolenIn, stolenOut, stolenHome             *obs.Counter
 	sessions, inflight, specInflight, shardIdx  *obs.Gauge
+	dispatchLat                                 *obs.Histogram
 }
 
 type ongoingInfo struct {
@@ -309,6 +315,7 @@ func (c *Coordinator) Start(env node.Env) {
 	c.spec = make(map[proto.CallID]ongoingInfo)
 	c.byServer = make(map[proto.NodeID]map[proto.CallID]bool)
 	c.fromPredecessor = make(map[proto.CallID]bool)
+	c.queuedAt = make(map[proto.CallID]time.Time)
 	c.dirty = make(map[proto.CallID]bool)
 	c.stolenOut = make(map[proto.CallID]stolenOutInfo)
 	c.stealPending = false
@@ -402,6 +409,9 @@ func (c *Coordinator) initObs(env node.Env) {
 		inflight:     reg.Gauge("rpcv_coord_inflight", nl),
 		specInflight: reg.Gauge("rpcv_coord_spec_inflight", nl),
 		shardIdx:     reg.Gauge("rpcv_coord_shard_index", nl),
+	}
+	if reg != nil {
+		c.cm.dispatchLat = reg.Histogram("rpcv_coord_dispatch_latency_ns", nl)
 	}
 }
 
@@ -847,6 +857,10 @@ func (c *Coordinator) assign(server proto.NodeID, limit int) []proto.TaskAssignm
 		c.ongoing[call] = ongoingInfo{server: server, task: task, assignedAt: now}
 		c.bindToServer(server, call)
 		c.markDirty(call)
+		if at, ok := c.queuedAt[call]; ok {
+			c.cm.dispatchLat.ObserveDuration(now.Sub(at))
+			delete(c.queuedAt, call)
+		}
 		c.trace(call, obs.StageDispatch, string(server))
 		out = append(out, proto.TaskAssignment{
 			Task:       task,
@@ -1077,11 +1091,17 @@ func (c *Coordinator) enqueue(call proto.CallID) bool {
 	if rec, ok := c.store.Peek(call); ok {
 		exec, deadline = rec.ExecTime, rec.Deadline
 	}
-	return c.eng.Enqueue(call, exec, deadline, c.env.Now())
+	now := c.env.Now()
+	queued := c.eng.Enqueue(call, exec, deadline, now)
+	if queued && c.cm.dispatchLat != nil {
+		c.queuedAt[call] = now
+	}
+	return queued
 }
 
 func (c *Coordinator) unqueue(call proto.CallID) {
 	c.eng.Unqueue(call)
+	delete(c.queuedAt, call)
 }
 
 // requeue is the single re-insertion path for every reissue of a lost,

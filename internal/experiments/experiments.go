@@ -21,6 +21,10 @@ type Options struct {
 	Seed int64
 	// Quick shrinks sweeps and populations for fast runs (tests).
 	Quick bool
+	// BundleDir, when set, arms the wall-clock compare experiments'
+	// fleet watcher: the first server death in each run captures a
+	// post-mortem flight bundle there (rpcv-bench -bundles).
+	BundleDir string
 }
 
 func (o *Options) applyDefaults() {

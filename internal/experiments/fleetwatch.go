@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"rpcv/internal/obs"
+	"rpcv/internal/obs/fleet"
+	"rpcv/internal/proto"
+)
+
+// obsBook hands per-node Observers to a compare run's nodes and
+// retains every one it created. A restarted server re-registers under
+// the same ID with a fresh Observer; the book keeps the old ones too,
+// so the fleet watcher's bundles still carry the dead incarnation's
+// span ring — exactly the post-mortem evidence a flight recorder is
+// for.
+type obsBook struct {
+	reg  *obs.Registry
+	mu   sync.Mutex
+	byID map[proto.NodeID][]*obs.Observer
+}
+
+func newObsBook(reg *obs.Registry) *obsBook {
+	return &obsBook{reg: reg, byID: map[proto.NodeID][]*obs.Observer{}}
+}
+
+// observer creates (and retains) a fresh Observer for id on the shared
+// registry.
+func (b *obsBook) observer(id proto.NodeID) *obs.Observer {
+	ob := obs.NewWith(id, b.reg)
+	b.mu.Lock()
+	b.byID[id] = append(b.byID[id], ob)
+	b.mu.Unlock()
+	return ob
+}
+
+// spans concatenates the span rings of every incarnation of id.
+func (b *obsBook) spans(id proto.NodeID) []obs.Span {
+	b.mu.Lock()
+	obsList := append([]*obs.Observer(nil), b.byID[id]...)
+	b.mu.Unlock()
+	var out []obs.Span
+	for _, ob := range obsList {
+		out = append(out, ob.Tracer().Dump()...)
+	}
+	return out
+}
+
+// watchFleet overlays a live fleet monitor on a wall-clock compare
+// run: every node the shared registry knows becomes an in-process
+// scrape source (a node the run reports down fails its scrape, like an
+// unreachable admin endpoint), and when bundleDir is set the flight
+// recorder captures a post-mortem bundle at the first death. Call
+// after every node has booted, Close before tearing the grid down.
+func watchFleet(book *obsBook, down func(proto.NodeID) bool, bundleDir string) *fleet.Monitor {
+	var sources []fleet.Source
+	for _, id := range fleet.RegistryNodes(book.reg) {
+		id := id
+		sources = append(sources, &fleet.FuncSource{
+			Node: id,
+			Fetch: func() ([]fleet.Sample, error) {
+				if down(id) {
+					return nil, fmt.Errorf("node %s is down", id)
+				}
+				return fleet.SamplesFromRegistry(book.reg, id), nil
+			},
+			Trace: func() []obs.Span { return book.spans(id) },
+		})
+	}
+	m := fleet.New(fleet.Config{
+		Sources:        sources,
+		Interval:       50 * time.Millisecond,
+		DownAfter:      2,
+		BundleDir:      bundleDir,
+		BundleCooldown: 5 * time.Second,
+	})
+	m.Start()
+	return m
+}
+
+// fleetCell summarizes a finished watcher for a table's trailing
+// column: the worst fleet level any scrape round saw, plus how many
+// flight bundles were captured.
+func fleetCell(m *fleet.Monitor) string {
+	worst := m.WorstSeen().String()
+	if n := len(m.Bundles()); n > 0 {
+		return fmt.Sprintf("%s, %d bundle(s)", worst, n)
+	}
+	return worst
+}

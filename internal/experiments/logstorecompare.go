@@ -48,7 +48,7 @@ func LogStoreCompare(opts Options) Result {
 	}
 	table := metrics.NewTable(
 		"Durable-store comparison: blocking-pessimistic logging under Poisson server kill/restart (1 coordinator, 4 servers, 2 clients, real TCP loopback, real disks)",
-		"store", "codec", "submits/s", "p50-submit", "p99-submit", "acked", "ops/commit")
+		"store", "codec", "submits/s", "p50-submit", "p99-submit", "acked", "ops/commit", "fleet")
 	var throughputs []float64
 	for _, c := range []struct {
 		engine string
@@ -58,9 +58,9 @@ func LogStoreCompare(opts Options) Result {
 		{"wal", proto.CodecGob}, // PR 4's engine, pre-binary codec
 		{"wal", proto.CodecBinary},
 	} {
-		r := logStoreRun(opts.Seed, c.engine, c.codec, calls)
+		r := logStoreRun(opts, c.engine, c.codec, calls)
 		table.AddRow(c.engine, c.codec.String(), r.throughput, r.lat.P50(), r.lat.P99(), r.acked,
-			fmt.Sprintf("%.1f", r.opsPerCommit))
+			fmt.Sprintf("%.1f", r.opsPerCommit), r.fleet)
 		throughputs = append(throughputs, r.throughput)
 	}
 	ratio := metrics.NewTable("speedups (blocking-pessimistic submission)", "metric", "value")
@@ -79,11 +79,13 @@ type logStoreRunResult struct {
 	lat          metrics.Histogram
 	acked        int
 	opsPerCommit float64 // WAL group-commit density, all nodes (0 on "files")
+	fleet        string  // fleet watcher's worst-seen verdict over the run
 }
 
 // logStoreRun drives one full grid run on the chosen store engine and
 // storage codec.
-func logStoreRun(seed int64, engine string, codec proto.Codec, calls int) logStoreRunResult {
+func logStoreRun(opts Options, engine string, codec proto.Codec, calls int) logStoreRunResult {
+	seed := opts.Seed
 	const (
 		nClients = 2
 		nServers = 4
@@ -103,11 +105,12 @@ func logStoreRun(seed int64, engine string, codec proto.Codec, calls int) logSto
 	// One registry shared by every node: the run reads the grid's WAL
 	// group-commit density from node-labeled metric sums afterwards.
 	reg := obs.NewRegistry()
+	book := newObsBook(reg)
 	rtCfg := func(id proto.NodeID, h node.Handler, dir rt.Directory) rt.Config {
 		return rt.Config{ID: id, ListenAddr: "127.0.0.1:0", Handler: h,
 			Directory: dir, Logf: quiet,
 			DiskDir: fmt.Sprintf("%s/%s", root, id), Store: engine,
-			Obs: obs.NewWith(id, reg)}
+			Obs: book.observer(id)}
 	}
 
 	co := coordinator.New(coordinator.Config{
@@ -210,6 +213,23 @@ func logStoreRun(seed int64, engine string, codec proto.Codec, calls int) logSto
 		})
 	}
 
+	// The fleet watcher sees this grid exactly as rpcv-mon would — a
+	// killed server fails its scrape and grades Down within two
+	// rounds — minus the HTTP hop.
+	slotOf := make(map[proto.NodeID]*serverSlot, nServers)
+	for i, sl := range servers {
+		slotOf[proto.NodeID(fmt.Sprintf("sv%d", i))] = sl
+	}
+	mon := watchFleet(book, func(id proto.NodeID) bool {
+		sl := slotOf[id]
+		if sl == nil {
+			return false
+		}
+		sl.mu.Lock()
+		defer sl.mu.Unlock()
+		return sl.rtm == nil
+	}, opts.BundleDir)
+
 	// The fault load: each server dies at Poisson times and restarts
 	// after a fixed downtime on a fresh port, reopening the same store
 	// directory — recovery replays its durable result log.
@@ -263,6 +283,11 @@ func logStoreRun(seed int64, engine string, codec proto.Codec, calls int) logSto
 		res.throughput = float64(acked) / lastAck.Sub(start).Seconds()
 	}
 	measMu.Unlock()
+
+	// Stop the watcher before tearing the grid down: its last rounds
+	// must not race runtime teardown's scrape-time funcs.
+	mon.Close()
+	res.fleet = fleetCell(mon)
 
 	// Group-commit density across the whole grid, from the shared
 	// registry (read before Close so scrape-time funcs see live stores).

@@ -46,7 +46,7 @@ func TransportCompare(opts Options) Result {
 	}
 	table := metrics.NewTable(
 		"Transport comparison: sustained submission under Poisson server kill/restart (1 coordinator, 4 servers, 2 clients, real TCP loopback)",
-		"transport", "codec", "submits/s", "p50-submit", "p99-submit", "acked", "coalescing", "sheds")
+		"transport", "codec", "submits/s", "p50-submit", "p99-submit", "acked", "coalescing", "sheds", "fleet")
 	for _, c := range []struct {
 		name   string
 		legacy bool
@@ -56,9 +56,9 @@ func TransportCompare(opts Options) Result {
 		{"pooled", false, proto.WireGob},     // PR 3's transport, pre-binary codec
 		{"pooled", false, proto.WireBinary},  // the default
 	} {
-		r := transportRun(opts.Seed, c.legacy, c.wire, calls)
+		r := transportRun(opts, c.legacy, c.wire, calls)
 		table.AddRow(c.name, c.wire, r.throughput, r.lat.P50(), r.lat.P99(),
-			r.acked, fmt.Sprintf("%.1fx", r.coalescing), r.sheds)
+			r.acked, fmt.Sprintf("%.1fx", r.coalescing), r.sheds, r.fleet)
 	}
 	return Result{Name: "transport-compare", Tables: []*metrics.Table{table}}
 }
@@ -70,11 +70,13 @@ type transportRunResult struct {
 	acked      int
 	coalescing float64 // envelopes per connection flush, all runtimes
 	sheds      uint64
+	fleet      string // fleet watcher's worst-seen verdict over the run
 }
 
 // transportRun drives one full grid run on the chosen transport and
 // wire codec.
-func transportRun(seed int64, legacy bool, wire string, calls int) transportRunResult {
+func transportRun(opts Options, legacy bool, wire string, calls int) transportRunResult {
+	seed := opts.Seed
 	const (
 		nClients = 2
 		nServers = 4
@@ -89,10 +91,11 @@ func transportRun(seed int64, legacy bool, wire string, calls int) transportRunR
 	// the grid's aggregate transport behaviour from node-labeled metric
 	// sums instead of walking per-runtime ad-hoc counters.
 	reg := obs.NewRegistry()
+	book := newObsBook(reg)
 	rtCfg := func(id proto.NodeID, h node.Handler, dir rt.Directory) rt.Config {
 		return rt.Config{ID: id, ListenAddr: "127.0.0.1:0", Handler: h,
 			Directory: dir, Logf: quiet, LegacyTransport: legacy, Wire: wire,
-			Obs: obs.NewWith(id, reg)}
+			Obs: book.observer(id)}
 	}
 	codec := proto.CodecForWire(wire)
 
@@ -102,7 +105,7 @@ func transportRun(seed int64, legacy bool, wire string, calls int) transportRunR
 		HeartbeatTimeout: suspect,
 		DBCost:           db.CostModel{PerOp: 50 * time.Microsecond},
 		Codec:            codec,
-		Obs:              obs.NewWith("co", reg),
+		Obs:              book.observer("co"),
 	})
 	rco, err := rt.Start(rtCfg("co", co, nil))
 	if err != nil {
@@ -197,6 +200,23 @@ func transportRun(seed int64, legacy bool, wire string, calls int) transportRunR
 		})
 	}
 
+	// The fleet watcher sees this grid exactly as rpcv-mon would — a
+	// killed server fails its scrape and grades Down within two
+	// rounds — minus the HTTP hop.
+	slotOf := make(map[proto.NodeID]*serverSlot, nServers)
+	for i, sl := range servers {
+		slotOf[proto.NodeID(fmt.Sprintf("sv%d", i))] = sl
+	}
+	mon := watchFleet(book, func(id proto.NodeID) bool {
+		sl := slotOf[id]
+		if sl == nil {
+			return false
+		}
+		sl.mu.Lock()
+		defer sl.mu.Unlock()
+		return sl.rtm == nil
+	}, opts.BundleDir)
+
 	// The fault load: each server dies at Poisson times and restarts
 	// after a fixed downtime on a fresh port (the coordinator learns
 	// the new address, as it would from a reconnecting peer).
@@ -250,6 +270,11 @@ func transportRun(seed int64, legacy bool, wire string, calls int) transportRunR
 		res.throughput = float64(acked) / lastAck.Sub(start).Seconds()
 	}
 	measMu.Unlock()
+
+	// Stop the watcher before tearing the grid down: its last rounds
+	// must not race runtime teardown's scrape-time funcs.
+	mon.Close()
+	res.fleet = fleetCell(mon)
 
 	// The shared registry holds every node's transport counters under
 	// node="<id>" labels; grid-wide aggregates are metric sums, read

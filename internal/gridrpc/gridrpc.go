@@ -327,6 +327,10 @@ func (s *Session) Stats() client.Stats {
 	return st
 }
 
+// Ping proves the session's event loop is live within d — the
+// liveness probe behind rpcv-client's /healthz.
+func (s *Session) Ping(d time.Duration) error { return s.rtm.Ping(d) }
+
 // Close ends the session (grpc_finalize). Ongoing executions continue
 // server-side — client disconnection is a normal event; a later session
 // with the same (user, session) IDs can retrieve the results.

@@ -17,7 +17,9 @@ import (
 //	/metrics        Prometheus text exposition of the registry
 //	/statusz        JSON: node, uptime, metrics snapshot, and every
 //	                registered status section
-//	/healthz        "ok" while the process serves
+//	/healthz        a real liveness probe: "ok" only while the
+//	                registered Health probe passes; 503 with the
+//	                reason otherwise (no probe: "ok" while serving)
 //	/tracez         JSON array of the span ring, oldest first
 //	/debug/pprof/   the standard net/http/pprof handlers
 type Admin struct {
@@ -31,6 +33,7 @@ type Admin struct {
 
 	mu       sync.Mutex
 	sections map[string]func() any
+	health   func() error
 }
 
 // ServeAdmin binds addr (host:port; :0 picks a free port) and serves
@@ -60,6 +63,7 @@ func ServeAdmin(addr string, o *Observer) (*Admin, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	a.srv = &http.Server{Handler: mux}
+	RegisterBuildInfo(a.reg, o.Node())
 	go a.srv.Serve(ln)
 	return a, nil
 }
@@ -77,6 +81,18 @@ func (a *Admin) Status(name string, fn func() any) {
 	a.sections[name] = fn
 }
 
+// Health registers the liveness probe backing /healthz. fn runs per
+// request from the HTTP goroutine and must itself bound how long it
+// blocks (the daemons probe the event loop via rt's Ping with a short
+// timeout). A nil error means alive; an error turns /healthz into a
+// 503 carrying the reason, so the fleet monitor — or any external
+// prober — learns a stalled event loop is not "ok".
+func (a *Admin) Health(fn func() error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.health = fn
+}
+
 // Close stops the server and releases the port.
 func (a *Admin) Close() error {
 	if a == nil {
@@ -86,7 +102,17 @@ func (a *Admin) Close() error {
 }
 
 func (a *Admin) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	a.mu.Lock()
+	probe := a.health
+	a.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if probe != nil {
+		if err := probe(); err != nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "unhealthy: %v\n", err)
+			return
+		}
+	}
 	fmt.Fprintln(w, "ok")
 }
 
@@ -110,7 +136,7 @@ func (a *Admin) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 
 	sections := map[string]any{}
 	for _, n := range names {
-		sections[n] = fns[n]()
+		sections[n] = runSection(fns[n])
 	}
 	writeJSON(w, map[string]any{
 		"node":     a.node,
@@ -119,6 +145,18 @@ func (a *Admin) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 		"metrics":  a.reg.Snapshot(),
 		"sections": sections,
 	})
+}
+
+// runSection shields the scrape from one section's panic: the broken
+// section reports itself as an "error" field and every other section
+// still renders, instead of the whole /statusz dying with a 500.
+func runSection(fn func() any) (out any) {
+	defer func() {
+		if p := recover(); p != nil {
+			out = map[string]any{"error": fmt.Sprintf("panic: %v", p)}
+		}
+	}()
+	return fn()
 }
 
 func (a *Admin) handleTracez(w http.ResponseWriter, _ *http.Request) {

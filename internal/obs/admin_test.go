@@ -2,8 +2,10 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -89,6 +91,83 @@ func TestAdminEndpoints(t *testing.T) {
 	body, _ = get(t, base+"/debug/pprof/")
 	if !strings.Contains(body, "goroutine") {
 		t.Fatalf("pprof index:\n%.200s", body)
+	}
+}
+
+func TestAdminHealthProbe(t *testing.T) {
+	adm, err := ServeAdmin("127.0.0.1:0", New("n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adm.Close()
+	base := "http://" + adm.Addr()
+
+	var stalled error
+	adm.Health(func() error { return stalled })
+
+	if body, _ := get(t, base+"/healthz"); strings.TrimSpace(body) != "ok" {
+		t.Fatalf("healthy probe = %q", body)
+	}
+
+	stalled = fmt.Errorf("event loop stalled")
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("stalled probe status = %d, want 503", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "event loop stalled") {
+		t.Fatalf("503 body %q lacks the probe's reason", body)
+	}
+}
+
+func TestAdminStatuszSectionPanicIsolated(t *testing.T) {
+	adm, err := ServeAdmin("127.0.0.1:0", New("n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adm.Close()
+	adm.Status("fine", func() any { return "still here" })
+	adm.Status("broken", func() any { panic("section exploded") })
+
+	body, _ := get(t, "http://"+adm.Addr()+"/statusz")
+	var status struct {
+		Sections map[string]json.RawMessage `json:"sections"`
+	}
+	if err := json.Unmarshal([]byte(body), &status); err != nil {
+		t.Fatalf("statusz JSON: %v\n%s", err, body)
+	}
+	if got := string(status.Sections["fine"]); !strings.Contains(got, "still here") {
+		t.Fatalf("healthy section lost to neighbor's panic: %q", got)
+	}
+	var broken struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(status.Sections["broken"], &broken); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(broken.Error, "section exploded") {
+		t.Fatalf("broken section error = %q", broken.Error)
+	}
+}
+
+func TestAdminBuildInfoMetrics(t *testing.T) {
+	adm, err := ServeAdmin("127.0.0.1:0", New("bi-node"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adm.Close()
+	body, _ := get(t, "http://"+adm.Addr()+"/metrics")
+	if !strings.Contains(body, `rpcv_build_info{`) ||
+		!strings.Contains(body, `node="bi-node"`) ||
+		!strings.Contains(body, `go="`+runtime.Version()+`"`) {
+		t.Fatalf("metrics lack build info:\n%s", body)
+	}
+	if !strings.Contains(body, `rpcv_uptime_seconds{node="bi-node"}`) {
+		t.Fatalf("metrics lack uptime gauge:\n%s", body)
 	}
 }
 

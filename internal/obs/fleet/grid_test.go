@@ -1,0 +1,289 @@
+package fleet_test
+
+// The fleet acceptance test, the PR's headline scenario: a real TCP
+// loopback grid (one coordinator, two servers, one client) under
+// submission load, each node serving its admin endpoint, watched by a
+// Monitor over HTTP sources exactly as cmd/rpcv-mon would. Killing the
+// server that holds a dispatched task must flip that node unhealthy
+// within two scrape rounds, fire an automatic flight bundle, and the
+// post-mortem bundle must contain the assembled submit→ack timeline —
+// requeue hop included — plus metrics history covering the kill.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rpcv/internal/client"
+	"rpcv/internal/coordinator"
+	"rpcv/internal/db"
+	"rpcv/internal/msglog"
+	"rpcv/internal/obs"
+	"rpcv/internal/obs/fleet"
+	"rpcv/internal/proto"
+	"rpcv/internal/rt"
+	"rpcv/internal/server"
+)
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return string(body)
+}
+
+func TestFleetGridKillAndFlightRecorder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-TCP grid test")
+	}
+	const (
+		beat    = 25 * time.Millisecond
+		suspect = 250 * time.Millisecond
+	)
+	quiet := func(string, ...any) {}
+	bundleDir := t.TempDir()
+
+	var sources []fleet.Source
+	serve := func(id proto.NodeID, o *obs.Observer, rtm *rt.Runtime) {
+		adm, err := obs.ServeAdmin("127.0.0.1:0", o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { adm.Close() })
+		adm.Health(func() error { return rtm.Ping(500 * time.Millisecond) })
+		sources = append(sources, fleet.NewHTTPSource(id, adm.Addr()))
+	}
+
+	coObs := obs.New("co")
+	co := coordinator.New(coordinator.Config{
+		Coordinators:     []proto.NodeID{"co"},
+		HeartbeatPeriod:  beat,
+		HeartbeatTimeout: suspect,
+		DBCost:           db.CostModel{PerOp: 20 * time.Microsecond},
+		Obs:              coObs,
+	})
+	rco, err := rt.Start(rt.Config{ID: "co", ListenAddr: "127.0.0.1:0",
+		Handler: co, Logf: quiet, Obs: coObs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rco.Close()
+	serve("co", coObs, rco)
+	dir := rt.Directory{"co": rco.Addr()}
+
+	servers := map[proto.NodeID]*rt.Runtime{}
+	for i := 0; i < 2; i++ {
+		id := proto.NodeID(fmt.Sprintf("sv%d", i))
+		svObs := obs.New(id)
+		sv := server.New(server.Config{
+			Coordinators:     []proto.NodeID{"co"},
+			HeartbeatPeriod:  beat,
+			SuspicionTimeout: suspect,
+			Obs:              svObs,
+		})
+		rsv, err := rt.Start(rt.Config{ID: id, ListenAddr: "127.0.0.1:0",
+			Handler: sv, Directory: dir, Logf: quiet, Obs: svObs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { rsv.Close() }()
+		rco.SetPeer(id, rsv.Addr())
+		servers[id] = rsv
+		serve(id, svObs, rsv)
+	}
+
+	results := make(chan proto.RPCSeq, 64)
+	cliObs := obs.New("cli")
+	cli := client.New(client.Config{
+		User: "u", Session: 1,
+		Coordinators:     []proto.NodeID{"co"},
+		PollPeriod:       beat,
+		SuspicionTimeout: suspect,
+		Logging:          msglog.NonBlockingPessimistic,
+		Disk:             msglog.InstantDisk(),
+		OnResult:         func(res proto.Result, _ time.Time) { results <- res.Call.Seq },
+		Obs:              cliObs,
+	})
+	rcli, err := rt.Start(rt.Config{ID: "cli", ListenAddr: "127.0.0.1:0",
+		Handler: cli, Directory: dir, Logf: quiet, Obs: cliObs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcli.Close()
+	rco.SetPeer("cli", rcli.Addr())
+	serve("cli", cliObs, rcli)
+
+	// The monitor over HTTP sources, poll-driven for determinism: one
+	// Poll is one scrape round of every node.
+	mon := fleet.New(fleet.Config{
+		Sources:   sources,
+		Interval:  100 * time.Millisecond,
+		Timeout:   2 * time.Second,
+		DownAfter: 2,
+		BundleDir: bundleDir,
+	})
+	if v := mon.Poll(time.Now()); len(v.Nodes) != 4 {
+		t.Fatalf("verdict covers %d nodes, want 4", len(v.Nodes))
+	}
+	if v := mon.Poll(time.Now()); v.Level != fleet.LevelOK {
+		t.Fatalf("healthy grid graded %v: %+v", v.Level, v)
+	}
+
+	// Load: a burst of instant calls plus one slow timed call whose
+	// server we kill mid-execution to provoke a requeue.
+	const fast = 10
+	var slowSeq proto.RPCSeq
+	rcli.Do(func() {
+		for i := 0; i < fast; i++ {
+			cli.Submit("noop", nil, 0, 0)
+		}
+		slowSeq = cli.Submit("noop", nil, time.Second, 16)
+	})
+
+	// Learn which server holds the slow call from the coordinator's
+	// dispatch span, then kill it abruptly.
+	var victim proto.NodeID
+	deadline := time.Now().Add(10 * time.Second)
+	for victim == "" && time.Now().Before(deadline) {
+		for _, sp := range coObs.Tracer().Dump() {
+			if sp.Call.Seq == slowSeq && sp.Stage == obs.StageDispatch {
+				victim = proto.NodeID(sp.Detail)
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if victim == "" {
+		t.Fatal("slow call was never dispatched")
+	}
+	rvictim, ok := servers[victim]
+	if !ok {
+		t.Fatalf("dispatch names unknown server %q", victim)
+	}
+	mon.Poll(time.Now()) // one more healthy round: pre-kill history
+	killedAt := time.Now()
+	rvictim.Close()
+
+	// Within two scrape rounds the victim must grade unhealthy: its
+	// admin endpoint still answers, but /healthz reports the stopped
+	// event loop — the liveness probe doing its one job.
+	mon.Poll(time.Now())
+	v := mon.Poll(time.Now())
+	nv, ok := v.Node(victim)
+	if !ok || nv.Level < fleet.LevelCritical {
+		t.Fatalf("victim %s graded %v after two rounds, want >= critical: %+v", victim, nv.Level, v)
+	}
+	if v.Level < fleet.LevelCritical {
+		t.Fatalf("fleet level %v, want >= critical", v.Level)
+	}
+	// The unhealthy transition must have auto-captured a bundle.
+	if len(mon.Bundles()) == 0 {
+		t.Fatal("no automatic flight bundle after the kill")
+	}
+
+	// /clusterz reflects the verdict over HTTP.
+	srv := httptest.NewServer(mon.Handler())
+	defer srv.Close()
+	var served fleet.FleetVerdict
+	if err := json.Unmarshal([]byte(getBody(t, srv.URL+"/clusterz")), &served); err != nil {
+		t.Fatal(err)
+	}
+	if sn, ok := served.Node(victim); !ok || sn.Level < fleet.LevelCritical {
+		t.Fatalf("/clusterz victim verdict = %+v", sn)
+	}
+
+	// All calls, including the requeued one, complete on the survivor.
+	got := map[proto.RPCSeq]bool{}
+	deadline = time.Now().Add(30 * time.Second)
+	for len(got) < fast+1 && time.Now().Before(deadline) {
+		select {
+		case seq := <-results:
+			got[seq] = true
+		case <-time.After(time.Second):
+		}
+	}
+	if !got[slowSeq] {
+		t.Fatalf("slow call %d never completed after server kill (%d/%d results)",
+			slowSeq, len(got), fast+1)
+	}
+
+	// Final post-mortem: the bundle assembled after completion holds
+	// the slow call's whole story. The dead server's admin still serves
+	// its span ring — exactly why bundles join every node's /tracez.
+	mon.Poll(time.Now())
+	final, err := mon.CaptureBundle("test-final")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var timelines []obs.Timeline
+	b, err := os.ReadFile(filepath.Join(final, "timelines.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &timelines); err != nil {
+		t.Fatal(err)
+	}
+	var slow *obs.Timeline
+	for _, tl := range timelines {
+		if tl.Call.Seq == slowSeq {
+			cp := tl
+			slow = &cp
+			break
+		}
+	}
+	if slow == nil {
+		t.Fatalf("bundle timelines miss the slow call (have %d timelines)", len(timelines))
+	}
+	for _, stage := range []obs.Stage{obs.StageSubmit, obs.StageEnqueue,
+		obs.StageDispatch, obs.StageRequeue, obs.StageExec,
+		obs.StageResult, obs.StageAck} {
+		if !slow.Has(stage) {
+			t.Errorf("bundle timeline misses %s: %v", stage, slow.Stages())
+		}
+	}
+
+	// Metrics history must cover the kill: the victim's rings hold
+	// points from before it died.
+	var hist map[string]map[string][]fleet.Point
+	b, err = os.ReadFile(filepath.Join(final, "history.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &hist); err != nil {
+		t.Fatal(err)
+	}
+	preKill := false
+	for _, pts := range hist[string(victim)] {
+		for _, p := range pts {
+			if p.At.Before(killedAt) {
+				preKill = true
+			}
+		}
+	}
+	if !preKill {
+		t.Fatal("victim's metric history holds no pre-kill points")
+	}
+	// And the raw exposition plus statusz/pprof dumps rode along.
+	if _, err := os.Stat(filepath.Join(final, "metrics", string(victim)+".txt")); err != nil {
+		t.Errorf("bundle missing victim metrics: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(final, "statusz", "co.json")); err != nil {
+		t.Errorf("bundle missing coordinator statusz: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(final, "pprof", "co-goroutine.txt")); err != nil {
+		t.Errorf("bundle missing coordinator goroutine profile: %v", err)
+	}
+}

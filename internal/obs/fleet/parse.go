@@ -1,0 +1,203 @@
+// Package fleet is the cluster-level observability plane: it scrapes
+// the per-node admin endpoints PR 6 gave every daemon (/metrics,
+// /healthz, /statusz, /tracez), keeps fixed-capacity rolling
+// time-series rings per metric with counter→rate derivation, evaluates
+// a declarative health/SLO model into per-node and per-shard verdicts,
+// and acts as a flight recorder: on node death, SLO breach or demand
+// it captures a post-mortem bundle — every node's span ring assembled
+// into end-to-end timelines, the metrics history, status snapshots and
+// pprof profiles — into a timestamped directory.
+//
+// cmd/rpcv-mon is the daemon built on it; internal/cluster and the
+// wall-clock compare experiments embed the same Monitor over their
+// shared in-process registries, so chaos runs get fleet verdicts and
+// bundles without HTTP.
+package fleet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed metric reading: a name, its label set and the
+// value. Histogram summaries arrive as their exposition series — the
+// quantile-labeled samples plus <name>_sum and <name>_count — which is
+// exactly how the health rules consume them.
+type Sample struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// Label returns one label's value ("" when absent).
+func (s Sample) Label(k string) string { return s.Labels[k] }
+
+// Key is the sample's canonical identity: name plus sorted labels.
+// Ring buffers and dedup both key on it.
+func (s Sample) Key() string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(s.Labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ParseMetrics parses Prometheus text exposition (version 0.0.4, the
+// format obs.Registry.WritePrometheus emits) into samples plus the
+// # TYPE declarations. Unknown comment lines are skipped; a malformed
+// sample line is an error — the scraper treats a half-garbled scrape
+// as failed rather than ingesting nonsense.
+func ParseMetrics(r io.Reader) (samples []Sample, types map[string]string, err error) {
+	types = map[string]string{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if fields := strings.Fields(line); len(fields) >= 4 && fields[1] == "TYPE" {
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		s, perr := parseSampleLine(line)
+		if perr != nil {
+			return nil, nil, fmt.Errorf("fleet: metrics line %d: %w", lineNo, perr)
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("fleet: metrics read: %w", err)
+	}
+	return samples, types, nil
+}
+
+// parseSampleLine parses `name{k="v",...} value`. Label values use the
+// exposition escapes \\, \" and \n (the inverse of the registry's
+// escapeLabel).
+func parseSampleLine(line string) (Sample, error) {
+	s := Sample{}
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("no metric name in %q", line)
+	}
+	s.Name = line[:i]
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return s, fmt.Errorf("%v in %q", err, line)
+		}
+		s.Labels, rest = labels, tail
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return s, fmt.Errorf("no value in %q", line)
+	}
+	// A timestamp may trail the value; WritePrometheus never emits one
+	// but the parser accepts the full format.
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		rest = rest[:sp]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q in %q", rest, line)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func isNameChar(c byte, first bool) bool {
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' {
+		return true
+	}
+	return !first && (c >= '0' && c <= '9')
+}
+
+// parseLabels parses `{k="v",...}` off the front of s, returning the
+// label map and the remainder after the closing brace.
+func parseLabels(s string) (map[string]string, string, error) {
+	labels := map[string]string{}
+	i := 1 // past '{'
+	for {
+		for i < len(s) && (s[i] == ',' || s[i] == ' ') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return labels, s[i+1:], nil
+		}
+		start := i
+		for i < len(s) && isNameChar(s[i], i == start) {
+			i++
+		}
+		if i == start || i >= len(s) || s[i] != '=' {
+			return nil, "", fmt.Errorf("malformed label name at %q", s[start:])
+		}
+		key := s[start:i]
+		i++ // '='
+		if i >= len(s) || s[i] != '"' {
+			return nil, "", fmt.Errorf("label %s: missing opening quote", key)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return nil, "", fmt.Errorf("label %s: unterminated value", key)
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, "", fmt.Errorf("label %s: dangling escape", key)
+				}
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					// Unknown escape: the format says keep it literally.
+					val.WriteByte('\\')
+					val.WriteByte(s[i+1])
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels[key] = val.String()
+	}
+}

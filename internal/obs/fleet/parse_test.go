@@ -1,0 +1,133 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rpcv/internal/obs"
+)
+
+// The golden contract between the registry's exposition writer and the
+// fleet parser: everything WritePrometheus emits — counters, gauges,
+// histogram quantile/_sum/_count series, escaped label values — must
+// round-trip through ParseMetrics losslessly.
+func TestParseRoundTripsWritePrometheus(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("rpcv_test_ops_total", obs.L("node", "co"), obs.L("kind", "submit")).Add(42)
+	// A label value exercising every escape the format defines, plus an
+	// unknown escape sequence's raw ingredients (backslash-d survives
+	// escaping as \\d and must come back as \d).
+	nasty := "a\"b\nc\\d"
+	reg.Gauge("rpcv_test_depth", obs.L("node", nasty)).Set(17.5)
+	h := reg.Histogram("rpcv_test_lat_ns", obs.L("node", "co"))
+	for i := 1; i <= 100; i++ {
+		h.ObserveDuration(time.Duration(i) * time.Millisecond)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, types, err := ParseMetrics(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ParseMetrics on WritePrometheus output: %v\n%s", err, b.String())
+	}
+
+	byKey := map[string]float64{}
+	for _, s := range samples {
+		byKey[s.Key()] = s.Value
+	}
+	if got, ok := byKey[`rpcv_test_ops_total{kind=submit,node=co}`]; !ok || got != 42 {
+		t.Errorf("counter: got %v (present=%v), want 42; keys: %v", got, ok, keysOf(byKey))
+	}
+	if got, ok := byKey["rpcv_test_depth{node="+nasty+"}"]; !ok || got != 17.5 {
+		t.Errorf("gauge with escaped label: got %v (present=%v)", got, ok)
+	}
+
+	// The histogram must arrive as its full summary family.
+	snap := h.Snapshot()
+	for key, want := range map[string]float64{
+		`rpcv_test_lat_ns{node=co,quantile=0.5}`:  snap.P50,
+		`rpcv_test_lat_ns{node=co,quantile=0.95}`: snap.P95,
+		`rpcv_test_lat_ns{node=co,quantile=0.99}`: snap.P99,
+		`rpcv_test_lat_ns_sum{node=co}`:           snap.Sum,
+		`rpcv_test_lat_ns_count{node=co}`:         float64(snap.N),
+	} {
+		if got, ok := byKey[key]; !ok || got != want {
+			t.Errorf("%s: got %v (present=%v), want %v", key, got, ok, want)
+		}
+	}
+
+	for name, want := range map[string]string{
+		"rpcv_test_ops_total": "counter",
+		"rpcv_test_depth":     "gauge",
+		"rpcv_test_lat_ns":    "summary",
+	} {
+		if types[name] != want {
+			t.Errorf("# TYPE %s = %q, want %q", name, types[name], want)
+		}
+	}
+
+	// And the parsed escaped value must equal the original string, not
+	// its escaped rendering.
+	found := false
+	for _, s := range samples {
+		if s.Name == "rpcv_test_depth" {
+			found = true
+			if s.Label("node") != nasty {
+				t.Errorf("label value round-trip: got %q, want %q", s.Label("node"), nasty)
+			}
+		}
+	}
+	if !found {
+		t.Error("gauge sample missing entirely")
+	}
+}
+
+func keysOf(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestParseAcceptsTimestampsAndComments(t *testing.T) {
+	in := "# HELP x whatever\n# TYPE x counter\nx{a=\"b\"} 3 1699999999000\n\nx 4\n"
+	samples, types, err := ParseMetrics(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 2 || samples[0].Value != 3 || samples[1].Value != 4 {
+		t.Fatalf("samples = %+v", samples)
+	}
+	if types["x"] != "counter" {
+		t.Fatalf("types = %v", types)
+	}
+}
+
+func TestParseRejectsMalformedLines(t *testing.T) {
+	for _, in := range []string{
+		"x{a=\"b} 1\n",     // unterminated label value
+		"x{a=b} 1\n",       // unquoted label value
+		"x{a=\"b\"} abc\n", // non-numeric value
+		"{a=\"b\"} 1\n",    // no metric name
+		"x{a=\"b\\\n",      // dangling escape
+	} {
+		if _, _, err := ParseMetrics(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseMetrics(%q): want error, got none", in)
+		}
+	}
+}
+
+func TestSampleKeyIsCanonical(t *testing.T) {
+	a := Sample{Name: "m", Labels: map[string]string{"x": "1", "y": "2"}}
+	b := Sample{Name: "m", Labels: map[string]string{"y": "2", "x": "1"}}
+	if a.Key() != b.Key() {
+		t.Fatalf("key order-dependent: %q vs %q", a.Key(), b.Key())
+	}
+	if c := (Sample{Name: "m"}); c.Key() != "m" {
+		t.Fatalf("unlabeled key = %q", c.Key())
+	}
+}

@@ -1,0 +1,132 @@
+package fleet
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Point is one observation of one metric at one scrape.
+type Point struct {
+	At time.Time `json:"at"`
+	V  float64   `json:"v"`
+}
+
+// Series is a fixed-capacity ring of Points: constant memory per
+// metric, the most recent History scrapes win. It is the monitor's
+// whole storage model — enough recorded history to reconstruct the
+// last minutes before a failure, never more.
+type Series struct {
+	cap  int
+	pts  []Point // grows to cap, then wraps
+	next int
+}
+
+// NewSeries creates a ring holding at most capacity points.
+func NewSeries(capacity int) *Series {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Series{cap: capacity}
+}
+
+// Add appends one observation (overwriting the oldest at capacity).
+func (s *Series) Add(at time.Time, v float64) {
+	p := Point{At: at, V: v}
+	if len(s.pts) < s.cap {
+		s.pts = append(s.pts, p)
+	} else {
+		s.pts[s.next] = p
+	}
+	s.next = (s.next + 1) % s.cap
+}
+
+// Points returns the retained observations, oldest first.
+func (s *Series) Points() []Point {
+	out := make([]Point, 0, len(s.pts))
+	if len(s.pts) == s.cap {
+		out = append(out, s.pts[s.next:]...)
+	}
+	return append(out, s.pts[:s.next]...)
+}
+
+// Last returns the most recent observation.
+func (s *Series) Last() (Point, bool) {
+	if len(s.pts) == 0 {
+		return Point{}, false
+	}
+	i := s.next - 1
+	if i < 0 {
+		i = len(s.pts) - 1
+	}
+	return s.pts[i], true
+}
+
+// Rate derives a per-second rate from a counter series over the most
+// recent window (the whole ring when window <= 0). Counter resets — a
+// value dropping, as after a node restart — contribute the post-reset
+// value as the increase, so a restarted node's rate stays meaningful
+// instead of going hugely negative. ok is false with fewer than two
+// points in the window.
+func (s *Series) Rate(window time.Duration) (perSec float64, ok bool) {
+	pts := s.Points()
+	if len(pts) < 2 {
+		return 0, false
+	}
+	if window > 0 {
+		cut := pts[len(pts)-1].At.Add(-window)
+		lo := 0
+		for lo < len(pts) && pts[lo].At.Before(cut) {
+			lo++
+		}
+		pts = pts[lo:]
+		if len(pts) < 2 {
+			return 0, false
+		}
+	}
+	var inc float64
+	for i := 1; i < len(pts); i++ {
+		d := pts[i].V - pts[i-1].V
+		if d < 0 {
+			// Reset: the counter restarted from ~0; everything it now
+			// shows accumulated since the reset.
+			d = pts[i].V
+		}
+		inc += d
+	}
+	dt := pts[len(pts)-1].At.Sub(pts[0].At).Seconds()
+	if dt <= 0 {
+		return 0, false
+	}
+	return inc / dt, true
+}
+
+// Above returns the fraction of window points whose value exceeds
+// limit — the SLO burn of a quantile series against its target. ok is
+// false when the window holds no points.
+func (s *Series) Above(limit float64, window time.Duration) (frac float64, ok bool) {
+	pts := s.Points()
+	if window > 0 && len(pts) > 0 {
+		cut := pts[len(pts)-1].At.Add(-window)
+		lo := 0
+		for lo < len(pts) && pts[lo].At.Before(cut) {
+			lo++
+		}
+		pts = pts[lo:]
+	}
+	if len(pts) == 0 {
+		return 0, false
+	}
+	n := 0
+	for _, p := range pts {
+		if p.V > limit {
+			n++
+		}
+	}
+	return float64(n) / float64(len(pts)), true
+}
+
+// MarshalJSON renders the series as its point list (oldest first), so
+// flight-bundle history files are plain arrays.
+func (s *Series) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.Points())
+}

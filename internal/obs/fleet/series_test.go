@@ -1,0 +1,84 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func at(sec int) time.Time { return epoch.Add(time.Duration(sec) * time.Second) }
+
+func TestSeriesRingWraps(t *testing.T) {
+	s := NewSeries(3)
+	for i := 0; i < 5; i++ {
+		s.Add(at(i), float64(i))
+	}
+	pts := s.Points()
+	if len(pts) != 3 {
+		t.Fatalf("len = %d, want 3", len(pts))
+	}
+	for i, want := range []float64{2, 3, 4} {
+		if pts[i].V != want {
+			t.Errorf("pts[%d] = %v, want %v", i, pts[i].V, want)
+		}
+	}
+	if last, ok := s.Last(); !ok || last.V != 4 {
+		t.Errorf("Last = %+v ok=%v, want 4", last, ok)
+	}
+}
+
+func TestSeriesRate(t *testing.T) {
+	s := NewSeries(16)
+	// A counter climbing 10/s for 4 seconds.
+	for i := 0; i <= 4; i++ {
+		s.Add(at(i), float64(10*i))
+	}
+	if r, ok := s.Rate(0); !ok || r != 10 {
+		t.Errorf("Rate(all) = %v ok=%v, want 10", r, ok)
+	}
+	// Windowed to the last 2s it is still 10/s.
+	if r, ok := s.Rate(2 * time.Second); !ok || r != 10 {
+		t.Errorf("Rate(2s) = %v ok=%v, want 10", r, ok)
+	}
+	// One point is not a rate.
+	one := NewSeries(4)
+	one.Add(at(0), 5)
+	if _, ok := one.Rate(0); ok {
+		t.Error("single-point rate should not be ok")
+	}
+}
+
+func TestSeriesRateToleratesCounterReset(t *testing.T) {
+	s := NewSeries(16)
+	s.Add(at(0), 100)
+	s.Add(at(1), 110) // +10
+	s.Add(at(2), 3)   // restart: counter back near zero, contributes +3
+	s.Add(at(3), 13)  // +10
+	r, ok := s.Rate(0)
+	if !ok {
+		t.Fatal("rate not ok")
+	}
+	want := (10.0 + 3.0 + 10.0) / 3.0
+	if r != want {
+		t.Errorf("Rate = %v, want %v (reset must not go negative)", r, want)
+	}
+}
+
+func TestSeriesAbove(t *testing.T) {
+	s := NewSeries(16)
+	for i, v := range []float64{1, 9, 9, 9} {
+		s.Add(at(i), v)
+	}
+	if frac, ok := s.Above(5, 0); !ok || frac != 0.75 {
+		t.Errorf("Above(all) = %v ok=%v, want 0.75", frac, ok)
+	}
+	// Last 2 seconds hold only the two trailing 9s.
+	if frac, ok := s.Above(5, 2*time.Second); !ok || frac != 1 {
+		t.Errorf("Above(2s) = %v ok=%v, want 1", frac, ok)
+	}
+	empty := NewSeries(4)
+	if _, ok := empty.Above(5, 0); ok {
+		t.Error("empty Above should not be ok")
+	}
+}

@@ -298,6 +298,33 @@ func (r *Runtime) Do(fn func()) {
 	}
 }
 
+// Ping proves the event loop is live: it schedules a no-op and waits
+// at most d for the loop to run it. A nil return means the loop both
+// accepted and executed work within the budget; the error otherwise
+// says which half stalled. It is the liveness probe behind the
+// daemons' /healthz — safe to call from any goroutine, including
+// after Close (which reports the runtime as stopped).
+func (r *Runtime) Ping(d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	done := make(chan struct{})
+	select {
+	case r.mailbox <- func() { close(done) }:
+	case <-timer.C:
+		return fmt.Errorf("event loop did not accept work within %v (mailbox full)", d)
+	case <-r.quit:
+		return fmt.Errorf("runtime stopped")
+	}
+	select {
+	case <-done:
+		return nil
+	case <-timer.C:
+		return fmt.Errorf("event loop did not respond within %v", d)
+	case <-r.quit:
+		return fmt.Errorf("runtime stopped")
+	}
+}
+
 // DoAsync schedules fn on the event loop without waiting.
 func (r *Runtime) DoAsync(fn func()) {
 	select {
