@@ -1,6 +1,11 @@
 # RPC-V reproduction — build, test and benchmark entry points.
 #
-#   make            vet + build + test (the tier-1 gate)
+#   make            vet + lint + build + test (the tier-1 gate)
+#   make lint       project-specific analyzers (cmd/rpcv-lint): event-
+#                   loop discipline, proto codec completeness, atomic
+#                   hygiene, disk-error hygiene — standalone (cross-
+#                   package call-graph walk) and as go vet -vettool
+#                   (covers _test.go files)
 #   make bench      full benchmark run (regenerates every figure)
 #   make smoke      1-iteration benchmark smoke (fast CI signal)
 #   make shard      print the shard-scaling table (quick sweep)
@@ -8,7 +13,7 @@
 #   make transport  print the pooled-vs-legacy transport table
 #   make store      print the durable-store (wal vs files) table
 #   make wire       run the codec micro-benchmark (binary vs gob)
-#   make race       race-detect the runtime, store engines and codec
+#   make race       race-detect the whole tree
 #   make obs        race-detect the observability plane (registry,
 #                   tracer, admin endpoints, live-grid acceptance)
 #   make mon        race-detect the fleet monitor + flight recorder
@@ -17,12 +22,17 @@
 
 GO ?= go
 
-.PHONY: all vet build test bench smoke shard sched transport store wire race obs mon ci
+.PHONY: all vet lint build test bench smoke shard sched transport store wire race obs mon ci
 
-all: vet build test
+all: vet lint build test
 
 vet:
 	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/rpcv-lint ./...
+	$(GO) build -o $(or $(TMPDIR),/tmp)/rpcv-lint ./cmd/rpcv-lint
+	$(GO) vet -vettool=$(or $(TMPDIR),/tmp)/rpcv-lint ./...
 
 build:
 	$(GO) build ./...
@@ -31,7 +41,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/rt/... ./internal/store/... ./internal/proto/...
+	$(GO) test -race ./...
 
 obs:
 	$(GO) test -race ./internal/obs/...
@@ -60,4 +70,4 @@ store:
 wire:
 	$(GO) test -run '^$$' -bench BenchmarkCodec -benchmem .
 
-ci: vet build test race obs smoke
+ci: vet lint build test race smoke

@@ -106,6 +106,19 @@
 // wall-clock comparison experiments wire into the same monitor, so
 // chaos runs get fleet grading and post-mortems for free.
 //
+// internal/lint turns the codebase's hand-policed invariants into
+// machine-checked ones: a suite of project-specific static analyzers
+// run by cmd/rpcv-lint (standalone multichecker or go vet -vettool).
+// loopexclusive walks the static call graph from //rpcv:loop-only
+// annotations and reports blocking primitives reachable on the event
+// loop, plus off-loop touches of //rpcv:loop-owned handler state;
+// protocomplete cross-checks that every proto message kind is wired
+// into the kind constants, kindOf, the binary encoder and decoder and
+// the gob registry simultaneously; atomicfield reports mixed
+// atomic/plain access to the same field; diskerr reports discarded
+// errors from node.Disk/store calls. `make lint` runs all four and is
+// part of the default verify path and CI.
+//
 // See README.md for the package tour and the shard/sched subsystem
 // overviews. The benchmarks in bench_test.go regenerate each figure;
 // cmd/rpcv-bench prints them as tables.

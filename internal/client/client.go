@@ -130,7 +130,11 @@ type call struct {
 	result     *proto.Result
 }
 
-// Client is the application-side node handler.
+// Client is the application-side node handler. Its fields are
+// loop-private: every access must come from handler code or be
+// marshalled through rt.Do/DoAsync.
+//
+//rpcv:loop-owned
 type Client struct {
 	cfg Config
 	env node.Env
@@ -186,6 +190,8 @@ var _ node.Handler = (*Client)(nil)
 // Start implements node.Handler. A restarting client replays its
 // durable submission log: the application rolls back to the point
 // exactly following the last registered call.
+//
+//rpcv:loop-only
 func (c *Client) Start(env node.Env) {
 	c.env = env
 	c.stopped = false
@@ -275,6 +281,8 @@ func (c *Client) scheduleAckCheck() {
 }
 
 // Stop implements node.Handler.
+//
+//rpcv:loop-only
 func (c *Client) Stop() {
 	c.stopped = true
 	if c.monitor != nil {
@@ -479,6 +487,8 @@ func (c *Client) pollNow() {
 }
 
 // Receive implements node.Handler.
+//
+//rpcv:loop-only
 func (c *Client) Receive(from proto.NodeID, msg proto.Message) {
 	if c.stopped {
 		return

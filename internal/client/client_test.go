@@ -112,9 +112,11 @@ func rig(t *testing.T, cfg Config) (*sim.World, *Client, *fakeCoord) {
 }
 
 func TestSubmitAndCollect(t *testing.T) {
-	w, cli, fc := rig(t, Config{PollPeriod: time.Second})
 	var got []proto.Result
-	cli.cfg.OnResult = func(res proto.Result, _ time.Time) { got = append(got, res) }
+	w, cli, fc := rig(t, Config{
+		PollPeriod: time.Second,
+		OnResult:   func(res proto.Result, _ time.Time) { got = append(got, res) },
+	})
 
 	w.Schedule(0, func() { cli.Submit("svc", []byte("p"), time.Second, 4) })
 	w.RunFor(time.Second)
@@ -153,9 +155,10 @@ func TestSequencesMonotonic(t *testing.T) {
 }
 
 func TestSubmitCompletionRequiresAck(t *testing.T) {
-	w, cli, fc := rig(t, Config{})
 	completed := 0
-	cli.cfg.OnSubmitComplete = func(proto.RPCSeq, time.Time, time.Time) { completed++ }
+	w, cli, fc := rig(t, Config{
+		OnSubmitComplete: func(proto.RPCSeq, time.Time, time.Time) { completed++ },
+	})
 	fc.silent = true
 	w.Schedule(0, func() { cli.Submit("svc", nil, time.Second, 1) })
 	w.RunFor(10 * time.Second)

@@ -151,7 +151,11 @@ func (c *Config) applyDefaults() {
 	}
 }
 
-// Coordinator is the middle-tier node handler.
+// Coordinator is the middle-tier node handler. Its fields are
+// loop-private: every access must come from handler code or be
+// marshalled through rt.Do/DoAsync.
+//
+//rpcv:loop-owned
 type Coordinator struct {
 	cfg Config
 	env node.Env
@@ -295,6 +299,8 @@ var _ node.Handler = (*Coordinator)(nil)
 // epoch; scheduling state is conservatively rebuilt: previously ongoing
 // tasks whose results were not stored become pending again (their
 // servers will be re-observed or re-suspected through heartbeats).
+//
+//rpcv:loop-only
 func (c *Coordinator) Start(env node.Env) {
 	c.env = env
 	c.stopped = false
@@ -454,6 +460,8 @@ func (c *Coordinator) ringBeat() {
 }
 
 // Stop implements node.Handler.
+//
+//rpcv:loop-only
 func (c *Coordinator) Stop() {
 	c.stopped = true
 	if c.servers != nil {
@@ -536,6 +544,8 @@ func (c *Coordinator) persistJob(rec *proto.JobRecord) {
 // ---------------------------------------------------------------------
 
 // Receive implements node.Handler.
+//
+//rpcv:loop-only
 func (c *Coordinator) Receive(from proto.NodeID, msg proto.Message) {
 	if c.stopped {
 		return

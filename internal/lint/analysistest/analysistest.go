@@ -1,0 +1,223 @@
+// Package analysistest runs a lint analyzer over a testdata source
+// tree and checks its diagnostics against expectations written in the
+// source, mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	ch <- v // want `channel send blocks`
+//
+// A "// want" comment holds one or more quoted regular expressions
+// (double- or back-quoted); each must be matched, in order, by a
+// diagnostic reported on that line. Diagnostics with no matching
+// expectation, and expectations with no matching diagnostic, fail the
+// test.
+//
+// Layout follows the upstream convention: Run(t, dir, analyzer, "a")
+// analyzes the package in dir/src/a. Imports of sibling packages
+// (dir/src/rt, ...) are type-checked from source, so testdata can
+// model cross-package scenarios like a loop-only handler calling a
+// blocking helper in a stand-in rt package; imports of standard
+// library packages are resolved from the toolchain's export data.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rpcv/internal/lint/analysis"
+)
+
+// Run analyzes dir/src/pkgname with a and checks // want expectations.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgname string) {
+	t.Helper()
+	prog, target, err := load(dir, pkgname)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgname, err)
+	}
+
+	var got []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      target.Fset,
+		Files:     target.Files,
+		Pkg:       target.Types,
+		TypesInfo: target.TypesInfo,
+		Program:   prog,
+		Report:    func(d analysis.Diagnostic) { got = append(got, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, target)
+	sort.Slice(got, func(i, j int) bool { return got[i].Pos < got[j].Pos })
+	for _, d := range got {
+		pos := target.Fset.Position(d.Pos)
+		key := lineKey{filepath.Base(pos.Filename), pos.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+// wantRE extracts the quoted regexps of a want comment.
+var wantRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+func collectWants(t *testing.T, pkg *analysis.Package) map[lineKey][]*want {
+	t.Helper()
+	wants := make(map[lineKey][]*want)
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range wantRE.FindAllString(text[idx+len("want "):], -1) {
+					pattern, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+					}
+					key := lineKey{filepath.Base(pos.Filename), pos.Line}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// ---------------------------------------------------------------------
+// Loading
+// ---------------------------------------------------------------------
+
+// load type-checks dir/src/<pkgname> and, recursively, every sibling
+// testdata package it imports.
+func load(dir, pkgname string) (*analysis.Program, *analysis.Package, error) {
+	ld := &tdLoader{
+		root: filepath.Join(dir, "src"),
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*analysis.Package),
+	}
+	ld.std = importer.ForCompiler(ld.fset, "source", nil)
+	target, err := ld.importPkg(pkgname)
+	if err != nil {
+		return nil, nil, err
+	}
+	var all []*analysis.Package
+	for _, p := range ld.pkgs {
+		all = append(all, p)
+	}
+	return analysis.NewProgram(all), target, nil
+}
+
+type tdLoader struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*analysis.Package
+	std  types.Importer
+}
+
+// Import implements types.Importer over testdata siblings + stdlib.
+func (ld *tdLoader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(ld.root, path); isDir(dir) {
+		pkg, err := ld.importPkg(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *tdLoader) importPkg(path string) (*analysis.Package, error) {
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg, nil
+	}
+	srcDir := filepath.Join(ld.root, path)
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(srcDir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", srcDir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	pkg := &analysis.Package{
+		PkgPath:   path,
+		Fset:      ld.fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	ld.pkgs[path] = pkg
+	return pkg, nil
+}
+
+func isDir(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}

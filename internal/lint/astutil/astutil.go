@@ -1,0 +1,90 @@
+// Package astutil holds the small typed-AST helpers shared by the
+// rpcv lint analyzers: directive-comment detection, static callee
+// resolution and an inspector variant that exposes the ancestor stack.
+package astutil
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HasDirective reports whether the comment group contains the named
+// rpcv directive. Both the gofmt-preserving form ("//rpcv:loop-only")
+// and the spaced form ("// rpcv:loop-only") are accepted, optionally
+// followed by explanatory text.
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		text = strings.TrimSpace(text)
+		if text == name || strings.HasPrefix(text, name+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// Callee resolves the *types.Func a call statically invokes: a
+// package-level function, a concrete method, or an interface method.
+// It returns nil for calls through function-typed values, conversions
+// and builtins.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// PkgPathIs reports whether pkg's import path is name or ends in
+// "/name". Matching by tail lets testdata packages stand in for real
+// module packages ("rt" for "rpcv/internal/rt").
+func PkgPathIs(pkg *types.Package, name string) bool {
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == name || strings.HasSuffix(path, "/"+name)
+}
+
+// ReceiverTypeName returns the name of the method's receiver base type
+// ("" for package-level functions).
+func ReceiverTypeName(f *types.Func) string {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// InspectStack walks root like ast.Inspect while maintaining the
+// ancestor stack (outermost first, not including n itself). Returning
+// false from f prunes the subtree.
+func InspectStack(root ast.Node, f func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := f(n, stack)
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}

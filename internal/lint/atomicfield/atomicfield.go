@@ -1,0 +1,167 @@
+// Package atomicfield reports mixed atomic/plain access to the same
+// variable — the data-race class the race detector only catches when a
+// test happens to exercise both sides concurrently.
+//
+// Within a package, any struct field or package-level variable whose
+// address is ever passed to a sync/atomic function (atomic.AddUint64,
+// atomic.LoadInt64, ...) is considered atomically owned: every other
+// read or write of it must also go through sync/atomic. A plain
+// `s.count++` next to an `atomic.AddUint64(&s.count, 1)` is exactly
+// the blind spot on untested paths — the loads compile to the same
+// instructions on amd64, the race is real on every architecture, and
+// nothing fails until it does.
+//
+// Initialization is exempt where it is unambiguous: composite-literal
+// field values and the zero value cost nothing. Everything else is
+// reported; the fix is either to use the atomic accessors or, better,
+// to migrate the field to the typed sync/atomic wrappers
+// (atomic.Uint64 and friends), whose method-only API makes this
+// analyzer's whole class unrepresentable.
+//
+// Analysis is package-local: an exported field accessed atomically
+// here and plainly in another package is caught when that package's
+// own pass sees an atomic use, which in practice the defining package
+// always supplies.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"rpcv/internal/lint/analysis"
+	"rpcv/internal/lint/astutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "report plain reads/writes of fields and variables that are elsewhere accessed through sync/atomic",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Phase 1: collect atomically-owned objects and the positions of
+	// their sanctioned (address-taken-for-atomic) uses.
+	owned := make(map[types.Object]token.Pos) // object -> first atomic use
+	sanctioned := make(map[token.Pos]bool)    // ident positions inside atomic args
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := astutil.Callee(pass.TypesInfo, call)
+			if callee == nil || !astutil.PkgPathIs(callee.Pkg(), "sync/atomic") {
+				return true
+			}
+			for _, arg := range call.Args {
+				unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || unary.Op != token.AND {
+					continue
+				}
+				obj, identPos := addressedVar(pass.TypesInfo, unary.X)
+				if obj == nil {
+					continue
+				}
+				if _, seen := owned[obj]; !seen {
+					owned[obj] = call.Pos()
+				}
+				sanctioned[identPos] = true
+			}
+			return true
+		})
+	}
+	if len(owned) == 0 {
+		return nil
+	}
+
+	// Phase 2: every other use of an owned object is a violation,
+	// except composite-literal initialization.
+	for _, file := range pass.Files {
+		astutil.InspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil {
+				return true
+			}
+			firstAtomic, isOwned := owned[obj]
+			if !isOwned || sanctioned[id.Pos()] {
+				return true
+			}
+			if inCompositeLitKey(id, stack) {
+				return true
+			}
+			kind := "variable"
+			if v, ok := obj.(*types.Var); ok && v.IsField() {
+				kind = "field"
+			}
+			pass.Reportf(id.Pos(),
+				"plain access to %s %s, which is updated with sync/atomic (%s); use the atomic accessors or an atomic.%s-style typed field",
+				kind, id.Name, pass.Fset.Position(firstAtomic), suggestType(obj))
+			return true
+		})
+	}
+	return nil
+}
+
+// addressedVar resolves &X's operand to a struct field or non-local
+// variable and returns the identifier position of the use.
+func addressedVar(info *types.Info, expr ast.Expr) (types.Object, token.Pos) {
+	switch x := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj(), x.Sel.Pos()
+		}
+		// Package-qualified global: pkg.Var.
+		if obj, ok := info.Uses[x.Sel].(*types.Var); ok {
+			return obj, x.Sel.Pos()
+		}
+	case *ast.Ident:
+		if obj, ok := info.Uses[x].(*types.Var); ok && !isLocal(obj) {
+			return obj, x.Pos()
+		}
+	}
+	return nil, token.NoPos
+}
+
+// isLocal reports whether v is function-local (owned by one frame;
+// mixing access modes on those is still wrong but is the province of
+// the race detector, not this cross-path check).
+func isLocal(v *types.Var) bool {
+	return !v.IsField() && v.Parent() != nil && v.Parent() != v.Pkg().Scope()
+}
+
+// inCompositeLitKey reports whether id is the key of a struct
+// composite literal entry (S{count: 0}), which is initialization, not
+// shared access.
+func inCompositeLitKey(id *ast.Ident, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		kv, ok := stack[i].(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		return kv.Key == id && i >= 1 && isCompositeLit(stack[i-1])
+	}
+	return false
+}
+
+func isCompositeLit(n ast.Node) bool {
+	_, ok := n.(*ast.CompositeLit)
+	return ok
+}
+
+// suggestType names the typed sync/atomic wrapper matching the
+// object's type, defaulting to Uint64.
+func suggestType(obj types.Object) string {
+	if basic, ok := obj.Type().Underlying().(*types.Basic); ok {
+		name := basic.Name()
+		if len(name) > 0 {
+			return strings.ToUpper(name[:1]) + name[1:]
+		}
+	}
+	return "Uint64"
+}

@@ -1,0 +1,39 @@
+// Package a seeds atomicfield's analysistest suite: mixed atomic/plain
+// access flagged, consistently-atomic and consistently-plain code
+// silent.
+package a
+
+import "sync/atomic"
+
+type counters struct {
+	sent     uint64 // mixed: atomic in record, plain in leak
+	recv     uint64 // consistent: atomic everywhere
+	plain    int    // never atomic; free to use plainly
+	typedOps atomic.Uint64
+}
+
+var dropped uint64 // package-level, atomically owned
+
+func record(c *counters) {
+	atomic.AddUint64(&c.sent, 1)
+	atomic.AddUint64(&c.recv, 1)
+	atomic.AddUint64(&dropped, 1)
+}
+
+func leak(c *counters) uint64 {
+	c.sent++         // want `plain access to field sent`
+	total := c.sent  // want `plain access to field sent`
+	total += dropped // want `plain access to variable dropped`
+	c.plain++        // ok: never touched atomically
+	return total + atomic.LoadUint64(&c.recv)
+}
+
+func fine(c *counters) uint64 {
+	c.typedOps.Add(1) // typed atomics are immune by construction
+	return atomic.LoadUint64(&c.sent) + c.typedOps.Load()
+}
+
+// Composite-literal initialization is pre-publication and exempt.
+func fresh() *counters {
+	return &counters{sent: 0, recv: 0}
+}

@@ -1,0 +1,118 @@
+// Package diskerr reports discarded errors from durable-storage calls.
+//
+// rpcv's correctness story leans on node.Disk's contract: Write and
+// Delete are durable when they return, and their errors are the only
+// signal that durability failed. PR 4 hand-fixed a round of silently
+// dropped Disk.Delete errors; this analyzer makes the class
+// unrepresentable. A call is flagged when its result tuple contains an
+// error, the callee belongs to the storage surface, and the statement
+// discards the results — a bare expression statement, or a go/defer.
+//
+// The storage surface is recognized structurally, not by import path:
+// any method on a receiver whose method set contains the Disk quartet
+// (Write, Read, Delete, Keys) — which covers node.Disk, node.BatchDisk,
+// store.Store, every engine, and test fakes — plus any function
+// returning such a type alongside an error (store.Open, OpenWAL, ...).
+//
+// An explicit blank assignment (`_ = d.Write(...)`) is the documented
+// opt-out: it states the discard is deliberate, survives review, and
+// should carry a comment saying why.
+package diskerr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"rpcv/internal/lint/analysis"
+	"rpcv/internal/lint/astutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "diskerr",
+	Doc:  "report discarded errors from node.Disk / store engine calls",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = stmt.X.(*ast.CallExpr)
+			case *ast.GoStmt:
+				call = stmt.Call
+			case *ast.DeferStmt:
+				call = stmt.Call
+			}
+			if call == nil {
+				return true
+			}
+			callee := astutil.Callee(pass.TypesInfo, call)
+			if callee == nil {
+				return true
+			}
+			sig, ok := callee.Type().(*types.Signature)
+			if !ok || !returnsError(sig) {
+				return true
+			}
+			if !storageCallee(callee, sig) {
+				return true
+			}
+			what := callee.Name()
+			if recv := astutil.ReceiverTypeName(callee); recv != "" {
+				what = recv + "." + what
+			}
+			pass.Reportf(call.Pos(),
+				"error returned by %s is discarded: a failed durable operation must be handled (or explicitly ignored with `_ =` and a reason)",
+				what)
+			return true
+		})
+	}
+	return nil
+}
+
+func returnsError(sig *types.Signature) bool {
+	results := sig.Results()
+	for i := 0; i < results.Len(); i++ {
+		if isErrorType(results.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// storageCallee reports whether the call belongs to the durable-store
+// surface: a method on a Disk-shaped receiver, or a function whose
+// results include a Disk-shaped type (an engine constructor).
+func storageCallee(f *types.Func, sig *types.Signature) bool {
+	if recv := sig.Recv(); recv != nil {
+		return diskShaped(recv.Type())
+	}
+	results := sig.Results()
+	for i := 0; i < results.Len(); i++ {
+		if diskShaped(results.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// diskShaped reports whether t's method set carries the node.Disk
+// quartet: Write, Read, Delete and Keys. Structural matching keeps the
+// analyzer independent of import paths, so testdata fakes and future
+// engines are covered for free.
+func diskShaped(t types.Type) bool {
+	for _, name := range [...]string{"Write", "Read", "Delete", "Keys"} {
+		obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+		if _, ok := obj.(*types.Func); !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,12 @@
+package diskerr_test
+
+import (
+	"testing"
+
+	"rpcv/internal/lint/analysistest"
+	"rpcv/internal/lint/diskerr"
+)
+
+func TestDiskErr(t *testing.T) {
+	analysistest.Run(t, "testdata", diskerr.Analyzer, "a")
+}

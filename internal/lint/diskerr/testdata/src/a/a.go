@@ -1,0 +1,39 @@
+// Package a seeds diskerr's analysistest suite: discarded durable-store
+// errors flagged, handled and explicitly-ignored ones silent, and
+// non-storage callees never matched.
+package a
+
+type fakeDisk struct{}
+
+func (fakeDisk) Write(key string, val []byte) error { return nil }
+func (fakeDisk) Read(key string) ([]byte, error)    { return nil, nil }
+func (fakeDisk) Delete(key string) error            { return nil }
+func (fakeDisk) Keys() ([]string, error)            { return nil, nil }
+
+// open mimics store.Open: a constructor whose results include a
+// disk-shaped type alongside an error.
+func open(name string) (fakeDisk, error) { return fakeDisk{}, nil }
+
+// notStorage returns an error but has no disk-shaped receiver or
+// result: never diskerr's business.
+func notStorage() error { return nil }
+
+func dropped(d fakeDisk) {
+	d.Write("k", nil)    // want `error returned by fakeDisk.Write is discarded`
+	d.Delete("k")        // want `error returned by fakeDisk.Delete is discarded`
+	open("wal")          // want `error returned by open is discarded`
+	go d.Write("k", nil) // want `error returned by fakeDisk.Write is discarded`
+	defer d.Delete("k")  // want `error returned by fakeDisk.Delete is discarded`
+	notStorage()         // ok: not a storage callee
+}
+
+func handled(d fakeDisk) error {
+	if err := d.Write("k", nil); err != nil {
+		return err
+	}
+	// The documented opt-out: an explicit blank assignment.
+	_ = d.Delete("k") // best-effort cleanup; the entry is already orphaned
+	v, err := d.Read("k")
+	_ = v
+	return err
+}

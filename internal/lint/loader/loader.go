@@ -1,0 +1,215 @@
+// Package loader turns Go packages into the typed syntax trees the
+// lint analyzers consume. It has two front doors matching the two ways
+// cmd/rpcv-lint is invoked:
+//
+//   - Load: standalone mode. Shells out to `go list -deps -export`
+//     over package patterns, so the go command resolves the build
+//     (module mode, build tags, compiled export data in the build
+//     cache) and this process only parses and type-checks the target
+//     packages themselves.
+//   - LoadVetConfig: `go vet -vettool` mode. The go command hands the
+//     tool a JSON config naming one package's files and an import map
+//     to pre-built export data; no subprocess is needed.
+//
+// Either way dependencies are imported from compiler export data via
+// the standard library's gc importer — never type-checked from source
+// — which keeps a whole-tree lint run to well under a second of
+// type-checking.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"rpcv/internal/lint/analysis"
+)
+
+// unit is one package to be type-checked from source: the common
+// denominator of a `go list` record and a vet.cfg.
+type unit struct {
+	importPath string
+	dir        string
+	goFiles    []string // absolute
+	// importMap maps source-level import paths to package paths
+	// (identity except under vendoring, which this module never uses).
+	importMap map[string]string
+	// packageFile maps package paths to export-data files.
+	packageFile map[string]string
+}
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns in dir (module root) and returns the type-checked
+// program of every matched package.
+func Load(dir string, patterns []string) (*analysis.Program, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,DepOnly,Standard,Incomplete,Error",
+		"--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+
+	fset := token.NewFileSet()
+	var pkgs []*analysis.Package
+	for _, t := range targets {
+		if t.Name == "main" && strings.HasSuffix(t.ImportPath, ".test") {
+			continue // synthesized test binaries
+		}
+		u := &unit{
+			importPath:  t.ImportPath,
+			dir:         t.Dir,
+			importMap:   nil, // identity
+			packageFile: exports,
+		}
+		for _, g := range t.GoFiles {
+			u.goFiles = append(u.goFiles, filepath.Join(t.Dir, g))
+		}
+		pkg, err := check(fset, u)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return analysis.NewProgram(pkgs), nil
+}
+
+// VetConfig mirrors the JSON the go command writes for a vet tool; see
+// buildVetConfig in cmd/go/internal/work/exec.go. Fields the lint
+// analyzers do not need are accepted and ignored.
+type VetConfig struct {
+	ID          string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// ReadVetConfig parses a vet.cfg file.
+func ReadVetConfig(path string) (*VetConfig, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return nil, fmt.Errorf("%s: parsing vet config: %v", path, err)
+	}
+	return &cfg, nil
+}
+
+// LoadVetConfig type-checks the single package a vet.cfg describes.
+func LoadVetConfig(cfg *VetConfig) (*analysis.Program, error) {
+	fset := token.NewFileSet()
+	pkg, err := check(fset, &unit{
+		importPath:  cfg.ImportPath,
+		dir:         cfg.Dir,
+		goFiles:     cfg.GoFiles,
+		importMap:   cfg.ImportMap,
+		packageFile: cfg.PackageFile,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return analysis.NewProgram([]*analysis.Package{pkg}), nil
+}
+
+// check parses and type-checks one unit against export data.
+func check(fset *token.FileSet, u *unit) (*analysis.Package, error) {
+	var files []*ast.File
+	for _, name := range u.goFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if u.importMap != nil {
+			if mapped, ok := u.importMap[path]; ok {
+				path = mapped
+			}
+		}
+		file, ok := u.packageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	tpkg, err := conf.Check(u.importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", u.importPath, err)
+	}
+	return &analysis.Package{
+		PkgPath:   u.importPath,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}

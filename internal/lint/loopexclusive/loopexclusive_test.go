@@ -1,0 +1,12 @@
+package loopexclusive_test
+
+import (
+	"testing"
+
+	"rpcv/internal/lint/analysistest"
+	"rpcv/internal/lint/loopexclusive"
+)
+
+func TestLoopExclusive(t *testing.T) {
+	analysistest.Run(t, "testdata", loopexclusive.Analyzer, "a")
+}

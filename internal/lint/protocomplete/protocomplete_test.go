@@ -1,0 +1,19 @@
+package protocomplete_test
+
+import (
+	"testing"
+
+	"rpcv/internal/lint/analysistest"
+	"rpcv/internal/lint/protocomplete"
+)
+
+// TestComplete proves a fully-wired codec produces no findings.
+func TestComplete(t *testing.T) {
+	analysistest.Run(t, "testdata", protocomplete.Analyzer, "proto")
+}
+
+// TestRotted is the rot regression: a message kind missing its decode
+// arm (and worse) must be reported.
+func TestRotted(t *testing.T) {
+	analysistest.Run(t, "testdata", protocomplete.Analyzer, "rotted")
+}

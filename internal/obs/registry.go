@@ -239,8 +239,11 @@ type entry struct {
 	c      *Counter
 	g      *Gauge
 	h      *Histogram
-	cf     func() uint64
-	gf     func() float64
+	// cf and gf are atomic: a restarting node re-registers its
+	// scrape-time funcs on an existing entry while a concurrent
+	// Snapshot may be reading them.
+	cf atomic.Pointer[func() uint64]
+	gf atomic.Pointer[func() float64]
 }
 
 // value returns the entry's scalar reading (histograms report N).
@@ -251,9 +254,15 @@ func (e *entry) value() float64 {
 	case kindGauge:
 		return e.g.Value()
 	case kindCounterFunc:
-		return float64(e.cf())
+		if fn := e.cf.Load(); fn != nil {
+			return float64((*fn)())
+		}
+		return 0
 	case kindGaugeFunc:
-		return e.gf()
+		if fn := e.gf.Load(); fn != nil {
+			return (*fn)()
+		}
+		return 0
 	default:
 		return float64(e.h.Snapshot().N)
 	}
@@ -347,7 +356,7 @@ func (r *Registry) CounterFunc(name string, fn func() uint64, labels ...Label) {
 	if r == nil {
 		return
 	}
-	r.lookup(name, labels, kindCounterFunc).cf = fn
+	r.lookup(name, labels, kindCounterFunc).cf.Store(&fn)
 }
 
 // GaugeFunc registers a gauge read at scrape time. fn must be safe to
@@ -356,7 +365,7 @@ func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...Label) {
 	if r == nil {
 		return
 	}
-	r.lookup(name, labels, kindGaugeFunc).gf = fn
+	r.lookup(name, labels, kindGaugeFunc).gf.Store(&fn)
 }
 
 // Sample is one metric's reading in a registry snapshot.

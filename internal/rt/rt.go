@@ -594,8 +594,18 @@ func (e *rtEnv) Logf(format string, args ...any) {
 	e.rt.cfg.Logf("%s: %s", e.rt.cfg.ID, fmt.Sprintf(format, args...))
 }
 
+// Send hands msg to the transport without ever blocking the loop: the
+// pooled transport enqueues (dropping oldest on overflow) and the
+// legacy transport dials on its own goroutine.
+//
+//rpcv:loop-only
 func (e *rtEnv) Send(to proto.NodeID, msg proto.Message) { e.rt.send(to, msg) }
 
+// After registers a loop timer: fn fires on the event loop via
+// DoAsync, and a Stop that loses the race is honoured by the stopped
+// check inside the marshalled closure.
+//
+//rpcv:loop-only
 func (e *rtEnv) After(d time.Duration, fn func()) node.Timer {
 	t := &rtTimer{}
 	t.timer = time.AfterFunc(d, func() {

@@ -194,7 +194,7 @@ func TestWALCoordinatorKillAndRestartRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatalf("reopen coordinator store: %v", err)
 	}
-	defer st.Close()
+	defer func() { _ = st.Close() }() // read-only reopen; nothing to flush
 	finished := 0
 	for _, key := range st.Keys("coord/job/") {
 		raw, ok := st.Read(key)

@@ -146,7 +146,9 @@ func TestFileDiskPersistsAcrossRuntimes(t *testing.T) {
 		if len(keys) != 1 || keys[0] != "msglog/00001" {
 			t.Errorf("keys = %v", keys)
 		}
-		b.env.Disk().Delete("msglog/00001")
+		if err := b.env.Disk().Delete("msglog/00001"); err != nil {
+			t.Fatalf("delete: %v", err)
+		}
 		if _, ok := b.env.Disk().Read("msglog/00001"); ok {
 			t.Error("delete ineffective")
 		}

@@ -336,7 +336,7 @@ func TestWALGobRecordsRecoverUnderBinary(t *testing.T) {
 	if err != nil {
 		t.Fatalf("reopen coordinator store: %v", err)
 	}
-	defer st.Close()
+	defer func() { _ = st.Close() }() // read-only reopen; nothing to flush
 	finished := 0
 	var dec proto.Decoder
 	for _, key := range st.Keys("coord/job/") {

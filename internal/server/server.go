@@ -97,7 +97,11 @@ func (c *Config) applyDefaults() {
 	}
 }
 
-// Server is the worker node handler.
+// Server is the worker node handler. Its fields are loop-private:
+// every access must come from handler code or be marshalled through
+// rt.Do/DoAsync.
+//
+//rpcv:loop-owned
 type Server struct {
 	cfg Config
 	env node.Env
@@ -166,6 +170,8 @@ var _ node.Handler = (*Server)(nil)
 // the coordinator through synchronization; tasks that were mid-
 // execution are simply lost (the coordinator will re-schedule them on
 // suspicion — at-least-once semantics).
+//
+//rpcv:loop-only
 func (s *Server) Start(env node.Env) {
 	s.env = env
 	s.stopped = false
@@ -211,6 +217,14 @@ func (s *Server) Start(env node.Env) {
 	s.noteLoad()
 }
 
+// Coordinators returns a snapshot of the server's merged coordinator
+// list. As a Server method it runs under the loop-owned discipline:
+// call it from handler code, from rt.Do, or while the node is
+// quiescent (tests between sim steps).
+func (s *Server) Coordinators() []proto.NodeID {
+	return append([]proto.NodeID(nil), s.coords...)
+}
+
 // trace stamps one span for call on this server's ring (no-op without
 // observability).
 func (s *Server) trace(call proto.CallID, stage obs.Stage, detail string) {
@@ -227,6 +241,8 @@ func (s *Server) noteLoad() {
 }
 
 // Stop implements node.Handler.
+//
+//rpcv:loop-only
 func (s *Server) Stop() {
 	s.stopped = true
 	if s.monitor != nil {
@@ -387,6 +403,8 @@ func sortTaskIDs(ts []proto.TaskID) {
 }
 
 // Receive implements node.Handler.
+//
+//rpcv:loop-only
 func (s *Server) Receive(from proto.NodeID, msg proto.Message) {
 	if s.stopped {
 		return

@@ -283,7 +283,7 @@ func TestCoordinatorListMerge(t *testing.T) {
 	w.Start("sv")
 	w.RunFor(time.Minute)
 	found := false
-	for _, id := range sv.coords {
+	for _, id := range sv.Coordinators() {
 		if id == "co9" {
 			found = true
 		}

@@ -16,6 +16,9 @@ func openTestWAL(t *testing.T, dir string, opt WALOptions) *WAL {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Close is idempotent, so tests that close explicitly (to assert
+	// the flush error or reopen the directory) are unaffected.
+	t.Cleanup(func() { _ = w.Close() })
 	return w
 }
 
@@ -57,7 +60,6 @@ func TestWALRoundTrip(t *testing.T) {
 
 	// Recovery rebuilds the same state from the log.
 	w2 := openTestWAL(t, dir, WALOptions{})
-	defer w2.Close()
 	if v, ok := w2.Read("msglog/1"); !ok || string(v) != "a2" {
 		t.Fatalf("recovered Read = %q, %v", v, ok)
 	}
@@ -74,7 +76,6 @@ func TestWALRoundTrip(t *testing.T) {
 // complete in far fewer commits than operations.
 func TestWALGroupCommit(t *testing.T) {
 	w := openTestWAL(t, t.TempDir(), WALOptions{})
-	defer w.Close()
 	const writers, each = 64, 8
 	var wg sync.WaitGroup
 	for i := 0; i < writers; i++ {
@@ -105,7 +106,6 @@ func TestWALGroupCommit(t *testing.T) {
 // preserves read-your-writes before the callback.
 func TestWALAsyncWrite(t *testing.T) {
 	w := openTestWAL(t, t.TempDir(), WALOptions{})
-	defer w.Close()
 	if err := w.Write("seed", []byte("s")); err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,6 @@ func TestWALTornTailTruncated(t *testing.T) {
 			}
 
 			w2 := openTestWAL(t, dir, WALOptions{})
-			defer w2.Close()
 			if got := len(w2.Keys("k/")); got != 10 {
 				t.Fatalf("recovered %d keys, want 10", got)
 			}
@@ -182,7 +181,6 @@ func TestWALTornTailTruncated(t *testing.T) {
 				t.Fatal(err)
 			}
 			w3 := openTestWAL(t, dir, WALOptions{})
-			defer w3.Close()
 			if _, ok := w3.Read("k/after"); !ok {
 				t.Fatal("post-truncation write lost")
 			}
@@ -256,7 +254,6 @@ func TestWALSnapshotCompactionBoundsReplay(t *testing.T) {
 	}
 
 	w2 := openTestWAL(t, dir, opt)
-	defer w2.Close()
 	if got := len(w2.Keys("k/")); got != 50 {
 		t.Fatalf("recovered %d keys, want 50", got)
 	}
@@ -308,7 +305,6 @@ func TestWALSnapshotConcurrentWrites(t *testing.T) {
 	}
 
 	w2 := openTestWAL(t, dir, opt)
-	defer w2.Close()
 	got := w2.Keys("")
 	if len(got) != len(want) {
 		t.Fatalf("recovered %d keys, want %d", len(got), len(want))
@@ -405,7 +401,6 @@ func TestWALSnapshotSurvivesAlone(t *testing.T) {
 		t.Fatal(err)
 	}
 	w2 := openTestWAL(t, dir, opt)
-	defer w2.Close()
 	if got := len(w2.Keys("k/")); got != 10 {
 		t.Fatalf("recovered %d keys, want 10", got)
 	}
