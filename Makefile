@@ -14,6 +14,9 @@
 #   make store      print the durable-store (wal vs files) table
 #   make wire       run the codec micro-benchmark (binary vs gob)
 #   make race       race-detect the whole tree
+#   make loops      race-detect the runtime + store lanes at 1 and 4
+#                   event loops (RPCV_LOOPS drives internal/rt's
+#                   multi-loop tests; 1 pins the pre-loops baseline)
 #   make obs        race-detect the observability plane (registry,
 #                   tracer, admin endpoints, live-grid acceptance)
 #   make mon        race-detect the fleet monitor + flight recorder
@@ -22,7 +25,7 @@
 
 GO ?= go
 
-.PHONY: all vet lint build test bench smoke shard sched transport store wire race obs mon ci
+.PHONY: all vet lint build test bench smoke shard sched transport store wire race loops obs mon ci
 
 all: vet lint build test
 
@@ -42,6 +45,10 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+loops:
+	RPCV_LOOPS=1 $(GO) test -race -count=1 ./internal/rt/... ./internal/store/...
+	RPCV_LOOPS=4 $(GO) test -race -count=1 ./internal/rt/... ./internal/store/...
 
 obs:
 	$(GO) test -race ./internal/obs/...

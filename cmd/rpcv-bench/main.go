@@ -6,6 +6,15 @@
 //	rpcv-bench -fig all            # every figure, paper-faithful scale
 //	rpcv-bench -fig 7 -quick       # one figure, reduced sweep
 //	rpcv-bench -fig 9 -seed 42     # different randomness
+//	rpcv-bench -fig transport-compare -json   # + BENCH_<name>.json
+//
+// -json additionally writes each experiment's tables and series to
+// BENCH_<experiment>.json in the current directory, for dashboards and
+// regression tooling that should not scrape text tables.
+//
+// -loops caps the cores dimension of the transport-compare experiment
+// (default: this machine's GOMAXPROCS); sweep points above the cap are
+// skipped so small boxes do not oversubscribe themselves.
 //
 // Absolute numbers come from the calibrated simulator, not the 2004
 // testbed; the experiments package's tests assert the shape
@@ -13,9 +22,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -27,9 +38,11 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced sweeps and populations")
 	seed := flag.Int64("seed", 2004, "random seed")
 	bundles := flag.String("bundles", "", "flight-bundle directory for the wall-clock compare experiments' fleet watcher (empty: no bundles)")
+	jsonOut := flag.Bool("json", false, "also write each experiment to BENCH_<experiment>.json")
+	loops := flag.Int("loops", runtime.GOMAXPROCS(0), "cap on the per-core event-loop sweep of transport-compare's cores dimension")
 	flag.Parse()
 
-	opts := experiments.Options{Seed: *seed, Quick: *quick, BundleDir: *bundles}
+	opts := experiments.Options{Seed: *seed, Quick: *quick, BundleDir: *bundles, Loops: *loops}
 	runners := map[string]func(experiments.Options) experiments.Result{
 		"4": experiments.Fig4, "5": experiments.Fig5, "6": experiments.Fig6,
 		"7": experiments.Fig7, "8": experiments.Fig8, "9": experiments.Fig9,
@@ -67,6 +80,40 @@ func main() {
 			tb.Write(os.Stdout)
 			fmt.Println()
 		}
+		if *jsonOut {
+			if err := writeJSON(res); err != nil {
+				fmt.Fprintf(os.Stderr, "rpcv-bench: -json: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		fmt.Fprintf(os.Stderr, "rpcv-bench: %s done in %v (wall clock)\n", res.Name, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// writeJSON dumps one experiment result to BENCH_<name>.json. Table
+// cells keep their display formatting (metrics.Table.MarshalJSON);
+// series points are raw offsets and values.
+func writeJSON(res experiments.Result) error {
+	name := "BENCH_" + sanitize(res.Name) + ".json"
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(name, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "rpcv-bench: wrote %s\n", name)
+	return nil
+}
+
+// sanitize maps an experiment name to a filename-safe token.
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '-'
+		}
+	}, name)
 }

@@ -20,6 +20,14 @@
 // mixed cluster interoperates and a WAL written by a gob build
 // recovers under the binary default.
 //
+// -loops selects the number of per-core event loops (default: the
+// machine's GOMAXPROCS). Sessions are hash-pinned to a loop, and the
+// coordinator partitions into one instance per loop, so submit
+// throughput scales with cores. -loops=1 reproduces the classic
+// single-loop runtime exactly (including a byte-identical wire From).
+// Ring members should run the same -loops value so session ownership
+// agrees across the fleet.
+//
 // -admin mounts the observability HTTP server (internal/obs) on the
 // given address: /metrics (Prometheus text), /statusz (JSON counters,
 // shard map, suspected nodes), /healthz, /tracez (task-lifecycle span
@@ -39,6 +47,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -75,6 +84,7 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 0, "pooled transport connection idle timeout (0: default 30s)")
 	maxInbound := flag.Int("max-inbound", 0, "max concurrent inbound connections before shedding (0: default 256)")
 	admin := flag.String("admin", "", "observability HTTP address serving /metrics /statusz /healthz /tracez /debug/pprof/ (empty: disabled)")
+	loops := flag.Int("loops", runtime.GOMAXPROCS(0), "per-core event loops; sessions are hash-pinned to a loop, so submit throughput scales with cores (1: classic single loop; ring members should share the value)")
 	flag.Parse()
 
 	if _, err := sched.New(sched.Config{Policy: *policy}); err != nil {
@@ -161,6 +171,7 @@ func main() {
 		QueueDepth:      *queueDepth,
 		IdleTimeout:     *idleTimeout,
 		MaxInboundConns: *maxInbound,
+		Loops:           *loops,
 		Obs:             ob,
 	})
 	if err != nil {
@@ -178,13 +189,25 @@ func main() {
 		// /healthz answers 503 when the event loop stops taking work:
 		// liveness is proven per probe, not assumed from the socket.
 		adm.Health(func() error { return rtm.Ping(500 * time.Millisecond) })
-		// Status sections read event-loop state; marshal it via rtm.Do so
-		// the HTTP goroutine never touches handler fields directly.
+		// Status sections read event-loop state; marshal each partition's
+		// snapshot onto its owning loop via rtm.DoOn so the HTTP
+		// goroutine never touches handler fields directly.
 		adm.Status("coordinator", func() any {
-			var st coordinator.Stats
-			rtm.Do(func() { st = co.StatsNow() })
-			return st
+			parts := co.Partitions()
+			if len(parts) == 1 {
+				var st coordinator.Stats
+				rtm.Do(func() { st = co.StatsNow() })
+				return st
+			}
+			out := make([]coordinator.Stats, len(parts))
+			for i, p := range parts {
+				var st coordinator.Stats
+				rtm.DoOn(i, func() { st = p.StatsNow() })
+				out[i] = st
+			}
+			return out
 		})
+		adm.Status("loops", func() any { return rtm.LoopStats() })
 		adm.Status("shard_map", func() any {
 			var sm proto.ShardMapState
 			rtm.Do(func() { sm = co.ShardState() })

@@ -26,6 +26,7 @@ package coordinator
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"rpcv/internal/db"
@@ -165,6 +166,19 @@ type Coordinator struct {
 	epoch  uint64              // incarnation counter, persisted, stamps replica updates
 	coords []proto.NodeID
 
+	// Multi-loop partitioning (node.PartitionedHandler): loopIdx/loopN
+	// locate this instance among the per-core partitions of one
+	// coordinator process; loopMap is the shared session placement.
+	// loopN == 0 means the classic unpartitioned coordinator. Every
+	// partition is an independent Coordinator over the same durable
+	// store — disjoint session slices, disjoint job keys, per-instance
+	// epoch keys — so each keeps the no-locking discipline on its own
+	// loop. parts (receiver instance only) lists all partitions.
+	loopIdx int
+	loopN   int
+	loopMap *shard.LoopMap
+	parts   []*Coordinator
+
 	// sessionMax is the indexed per-session maximum RPC timestamp
 	// (an indexed column in the real MySQL schema: reads are free).
 	sessionMax map[sessionKey]proto.RPCSeq
@@ -288,7 +302,69 @@ func New(cfg Config) *Coordinator {
 	return &Coordinator{cfg: cfg}
 }
 
-var _ node.Handler = (*Coordinator)(nil)
+var (
+	_ node.Handler            = (*Coordinator)(nil)
+	_ node.PartitionedHandler = (*Coordinator)(nil)
+)
+
+// Partition implements node.PartitionedHandler: the coordinator splits
+// into n independent instances, one per event loop, each owning the
+// sessions shard.LoopMap pins to its loop. The runtime routes every
+// session-scoped message to the owning partition and broadcasts
+// node-scoped server traffic (heartbeats, server syncs) to all of
+// them, so each partition schedules against the full server pool but
+// only for its own sessions. Critically this multiplies the modeled
+// database: each partition has its own db.DB and SerialResource, so
+// DB-bound submit throughput scales with loops — the same trick the
+// shard layer plays across processes, one level down.
+//
+// Called once, before Start, by rt.Start.
+func (c *Coordinator) Partition(n int) []node.Handler {
+	if n < 1 {
+		n = 1
+	}
+	c.loopIdx, c.loopN = 0, n
+	c.loopMap = shard.NewLoopMap(n)
+	c.parts = make([]*Coordinator, n)
+	c.parts[0] = c
+	out := make([]node.Handler, n)
+	out[0] = c
+	for j := 1; j < n; j++ {
+		p := New(c.cfg)
+		p.loopIdx, p.loopN = j, n
+		p.loopMap = c.loopMap
+		c.parts[j] = p
+		out[j] = p
+	}
+	return out
+}
+
+// Partitions returns every per-loop coordinator instance hosted by the
+// receiver's process: the receiver itself when unpartitioned, else the
+// slice Partition built (index 0 is the receiver). Snapshot accessors
+// (StatsNow & co) on instance j must be marshalled through the j-th
+// loop (rt.DoOn).
+func (c *Coordinator) Partitions() []*Coordinator {
+	if len(c.parts) == 0 {
+		return []*Coordinator{c}
+	}
+	return c.parts
+}
+
+// LoopIndex locates this instance among its process's partitions:
+// (loop index, loop count). An unpartitioned coordinator is (0, 1).
+func (c *Coordinator) LoopIndex() (int, int) {
+	if c.loopN == 0 {
+		return 0, 1
+	}
+	return c.loopIdx, c.loopN
+}
+
+// ownsLoop reports whether this partition owns a session's calls under
+// the loop placement. Unpartitioned coordinators own everything.
+func (c *Coordinator) ownsLoop(call proto.CallID) bool {
+	return c.loopN <= 1 || c.loopMap.OwnerOf(call) == c.loopIdx
+}
 
 // ---------------------------------------------------------------------
 // Lifecycle
@@ -397,27 +473,33 @@ func (c *Coordinator) Start(env node.Env) {
 // unconditional.
 func (c *Coordinator) initObs(env node.Env) {
 	reg := c.cfg.Obs.Registry()
-	nl := obs.L("node", string(env.Self()))
+	ls := []obs.Label{obs.L("node", string(env.Self()))}
+	if c.loopN > 1 {
+		// Partitioned coordinators label per loop so the scrape shows
+		// the per-core split; unpartitioned ones keep the historical
+		// node-only series.
+		ls = append(ls, obs.L("loop", strconv.Itoa(c.loopIdx)))
+	}
 	c.cm = coordMetrics{
-		submits:      reg.Counter("rpcv_coord_submits_total", nl),
-		accepted:     reg.Counter("rpcv_coord_jobs_accepted_total", nl),
-		finished:     reg.Counter("rpcv_coord_finished_total", nl),
-		dups:         reg.Counter("rpcv_coord_dup_results_total", nl),
-		requeues:     reg.Counter("rpcv_coord_requeues_total", nl),
-		redirects:    reg.Counter("rpcv_coord_redirects_total", nl),
-		adoptions:    reg.Counter("rpcv_coord_adoptions_total", nl),
-		speculated:   reg.Counter("rpcv_coord_speculated_total", nl),
-		specWins:     reg.Counter("rpcv_coord_spec_wins_total", nl),
-		stolenIn:     reg.Counter("rpcv_coord_steals_in_total", nl),
-		stolenOut:    reg.Counter("rpcv_coord_steals_out_total", nl),
-		stolenHome:   reg.Counter("rpcv_coord_steals_home_total", nl),
-		sessions:     reg.Gauge("rpcv_coord_sessions", nl),
-		inflight:     reg.Gauge("rpcv_coord_inflight", nl),
-		specInflight: reg.Gauge("rpcv_coord_spec_inflight", nl),
-		shardIdx:     reg.Gauge("rpcv_coord_shard_index", nl),
+		submits:      reg.Counter("rpcv_coord_submits_total", ls...),
+		accepted:     reg.Counter("rpcv_coord_jobs_accepted_total", ls...),
+		finished:     reg.Counter("rpcv_coord_finished_total", ls...),
+		dups:         reg.Counter("rpcv_coord_dup_results_total", ls...),
+		requeues:     reg.Counter("rpcv_coord_requeues_total", ls...),
+		redirects:    reg.Counter("rpcv_coord_redirects_total", ls...),
+		adoptions:    reg.Counter("rpcv_coord_adoptions_total", ls...),
+		speculated:   reg.Counter("rpcv_coord_speculated_total", ls...),
+		specWins:     reg.Counter("rpcv_coord_spec_wins_total", ls...),
+		stolenIn:     reg.Counter("rpcv_coord_steals_in_total", ls...),
+		stolenOut:    reg.Counter("rpcv_coord_steals_out_total", ls...),
+		stolenHome:   reg.Counter("rpcv_coord_steals_home_total", ls...),
+		sessions:     reg.Gauge("rpcv_coord_sessions", ls...),
+		inflight:     reg.Gauge("rpcv_coord_inflight", ls...),
+		specInflight: reg.Gauge("rpcv_coord_spec_inflight", ls...),
+		shardIdx:     reg.Gauge("rpcv_coord_shard_index", ls...),
 	}
 	if reg != nil {
-		c.cm.dispatchLat = reg.Histogram("rpcv_coord_dispatch_latency_ns", nl)
+		c.cm.dispatchLat = reg.Histogram("rpcv_coord_dispatch_latency_ns", ls...)
 	}
 }
 
@@ -487,8 +569,20 @@ func (c *Coordinator) Stop() {
 	}
 }
 
+// epochKey is the durable key holding this instance's incarnation
+// counter. Partition 0 keeps the historical key so single-loop state
+// restarts unchanged under multi-loop (and vice versa); partitions
+// j > 0 use a suffixed key — epochs are per-instance because each
+// partition replicates and stamps updates independently.
+func (c *Coordinator) epochKey() string {
+	if c.loopIdx > 0 {
+		return fmt.Sprintf("coord/epoch.%d", c.loopIdx)
+	}
+	return "coord/epoch"
+}
+
 func (c *Coordinator) loadEpoch() {
-	if raw, ok := c.env.Disk().Read("coord/epoch"); ok && len(raw) == 8 {
+	if raw, ok := c.env.Disk().Read(c.epochKey()); ok && len(raw) == 8 {
 		for i := 0; i < 8; i++ {
 			c.epoch |= uint64(raw[i]) << (8 * i)
 		}
@@ -498,7 +592,7 @@ func (c *Coordinator) loadEpoch() {
 	for i := 0; i < 8; i++ {
 		raw[i] = byte(c.epoch >> (8 * i))
 	}
-	if err := c.env.Disk().Write("coord/epoch", raw); err != nil {
+	if err := c.env.Disk().Write(c.epochKey(), raw); err != nil {
 		c.env.Logf("coordinator: persist epoch: %v", err)
 	}
 }
@@ -513,6 +607,12 @@ func (c *Coordinator) loadStore() {
 		rec, err := dec.DecodeJob(raw)
 		if err != nil {
 			c.env.Logf("coordinator: corrupt job record %s: %v", key, err)
+			continue
+		}
+		if !c.ownsLoop(rec.Call) {
+			// Another partition's session: its owner reloads it. All
+			// partitions share one durable store, so the key space is
+			// split by the same placement the runtime routes with.
 			continue
 		}
 		if rec.State == proto.TaskOngoing {

@@ -25,6 +25,11 @@ type Options struct {
 	// fleet watcher: the first server death in each run captures a
 	// post-mortem flight bundle there (rpcv-bench -bundles).
 	BundleDir string
+	// Loops caps the cores dimension of TransportCompare (rpcv-bench
+	// -loops). 0 means uncapped: the full 1/2/4 sweep runs. Sweep
+	// points above the cap are dropped, so a 2-core box can pass
+	// -loops 2 and skip the oversubscribed 4-loop row.
+	Loops int
 }
 
 func (o *Options) applyDefaults() {

@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether this test binary was built with the race
+// detector: perf-shape assertions relax their multipliers there (the
+// instrumentation overhead is real work the model does not account
+// for), while delivery-equality assertions stay exact.
+const raceEnabled = true

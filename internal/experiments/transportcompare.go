@@ -17,6 +17,7 @@ import (
 	"rpcv/internal/proto"
 	"rpcv/internal/rt"
 	"rpcv/internal/server"
+	"rpcv/internal/shard"
 )
 
 // TransportCompare races the real TCP runtime's transports and wire
@@ -60,7 +61,45 @@ func TransportCompare(opts Options) Result {
 		table.AddRow(c.name, c.wire, r.throughput, r.lat.P50(), r.lat.P99(),
 			r.acked, fmt.Sprintf("%.1fx", r.coalescing), r.sheds, r.fleet)
 	}
-	return Result{Name: "transport-compare", Tables: []*metrics.Table{table}}
+
+	// The cores dimension: the same sustained-submission workload on the
+	// pooled/binary configuration, with the coordinator running 1, 2 and
+	// 4 per-core event loops (rt.Config.Loops). The coordinator is made
+	// deliberately DB-bound (each submission queues behind the modelled
+	// database, a serial resource), so the multi-loop speedup isolates
+	// the thing the runtime actually multiplies: one independent handler
+	// partition — with its own DB serial resource — per loop. The
+	// delivered column proves equality: every submission acknowledged at
+	// every loop count.
+	coresTable := metrics.NewTable(
+		"Cores dimension: coordinator event loops vs sustained submit throughput (pooled transport, binary codec, 8 clients, DB-bound coordinator)",
+		"loops", "submits/s", "scale", "p50-submit", "p99-submit", "delivered")
+	var base float64
+	for _, n := range coresSweep(opts.Loops) {
+		r := coresRun(opts, n, calls)
+		scale := "1.0x"
+		if base == 0 {
+			base = r.throughput
+		} else if base > 0 {
+			scale = fmt.Sprintf("%.1fx", r.throughput/base)
+		}
+		coresTable.AddRow(n, r.throughput, scale, r.lat.P50(), r.lat.P99(),
+			fmt.Sprintf("%d/%d", r.acked, r.target))
+	}
+	return Result{Name: "transport-compare", Tables: []*metrics.Table{table, coresTable}}
+}
+
+// coresSweep returns the loop counts of the cores dimension. cap (from
+// rpcv-bench -loops) drops sweep points a small box cannot host; the
+// single-loop baseline always runs.
+func coresSweep(cap int) []int {
+	out := []int{1}
+	for _, n := range []int{2, 4} {
+		if cap <= 0 || n <= cap {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 // transportRunResult carries one transport's measurements.
@@ -297,6 +336,172 @@ func transportRun(opts Options, legacy bool, wire string, calls int) transportRu
 	}
 	if flushes > 0 {
 		res.coalescing = sent / flushes
+	}
+	return res
+}
+
+// coresRunResult carries one loop count's measurements.
+type coresRunResult struct {
+	throughput    float64
+	lat           metrics.Histogram
+	acked, target int
+}
+
+// coresRun drives one sustained-submission run against a coordinator
+// hosting the given number of per-core event loops. No fault load: the
+// cores dimension measures clean scaling, and the transport rows above
+// already prove delivery under churn.
+//
+// Client (user, session) pairs are chosen so sessions spread evenly
+// over the coordinator's loops — the selection uses the very same
+// shard.LoopMap construction the runtime pins sessions with, so the
+// workload exercises every handler partition instead of accidentally
+// hashing onto one.
+func coresRun(opts Options, loops, calls int) coresRunResult {
+	const (
+		nClients = 8
+		nServers = 2
+		inflight = 8 // per-client sustained submission window
+		beat     = 25 * time.Millisecond
+		suspect  = 250 * time.Millisecond
+	)
+	quiet := func(string, ...any) {}
+	codec := proto.CodecForWire(proto.WireBinary)
+
+	co := coordinator.New(coordinator.Config{
+		Coordinators:     []proto.NodeID{"co"},
+		HeartbeatPeriod:  beat,
+		HeartbeatTimeout: suspect,
+		// DB-bound on purpose: with sub-millisecond transport, a fat
+		// per-statement cost makes the serialized database the
+		// bottleneck the loop count multiplies.
+		DBCost: db.CostModel{PerOp: 200 * time.Microsecond},
+		Codec:  codec,
+	})
+	rco, err := rt.Start(rt.Config{ID: "co", ListenAddr: "127.0.0.1:0",
+		Handler: co, Logf: quiet, Wire: proto.WireBinary, Loops: loops})
+	if err != nil {
+		panic(fmt.Sprintf("transport-compare: cores coordinator: %v", err))
+	}
+	dir := rt.Directory{"co": rco.Addr()}
+
+	services := map[string]server.Service{
+		"noop": func([]byte) ([]byte, error) { return nil, nil },
+	}
+	rsvs := make([]*rt.Runtime, nServers)
+	for i := range rsvs {
+		id := proto.NodeID(fmt.Sprintf("sv%d", i))
+		rsv, err := rt.Start(rt.Config{ID: id, ListenAddr: "127.0.0.1:0",
+			Handler: server.New(server.Config{
+				Coordinators:     []proto.NodeID{"co"},
+				HeartbeatPeriod:  beat,
+				SuspicionTimeout: suspect,
+				Services:         services,
+				Codec:            codec,
+			}),
+			Directory: dir, Logf: quiet, Wire: proto.WireBinary})
+		if err != nil {
+			panic(fmt.Sprintf("transport-compare: cores server: %v", err))
+		}
+		rco.SetPeer(id, rsv.Addr())
+		rsvs[i] = rsv
+	}
+
+	// Pick (user, session) pairs that cover every loop evenly. The
+	// construction is deterministic given the loop count alone, so this
+	// predicts the runtime's pinning exactly.
+	lm := shard.NewLoopMap(loops)
+	type cliID struct {
+		user    proto.UserID
+		session proto.SessionID
+	}
+	picked := make([]cliID, 0, nClients)
+	counts := make([]int, loops)
+	for i := 0; len(picked) < nClients; i++ {
+		u := proto.UserID(fmt.Sprintf("u%03d", i))
+		s := proto.SessionID(i + 1)
+		if l := lm.Owner(u, s); counts[l] < nClients/loops {
+			counts[l]++
+			picked = append(picked, cliID{u, s})
+		}
+	}
+
+	var (
+		res     coresRunResult
+		measMu  sync.Mutex
+		acked   int
+		lastAck time.Time
+		done    = make(chan struct{})
+		once    sync.Once
+	)
+	perClient := calls / nClients
+	res.target = perClient * nClients
+	start := time.Now()
+
+	rclis := make([]*rt.Runtime, nClients)
+	for i := 0; i < nClients; i++ {
+		submitted := 0
+		var cli *client.Client
+		cli = client.New(client.Config{
+			User:             picked[i].user,
+			Session:          picked[i].session,
+			Coordinators:     []proto.NodeID{"co"},
+			PollPeriod:       beat,
+			SuspicionTimeout: suspect,
+			Logging:          msglog.NonBlockingPessimistic,
+			Disk:             msglog.InstantDisk(),
+			Codec:            codec,
+			OnSubmitComplete: func(_ proto.RPCSeq, issued, completed time.Time) {
+				measMu.Lock()
+				res.lat.Add(completed.Sub(issued))
+				acked++
+				lastAck = completed
+				fin := acked >= res.target
+				measMu.Unlock()
+				if fin {
+					once.Do(func() { close(done) })
+				}
+				if submitted < perClient {
+					submitted++
+					cli.Submit("noop", nil, 0, 0)
+				}
+			},
+		})
+		id := proto.NodeID(fmt.Sprintf("cli%d", i))
+		rcli, err := rt.Start(rt.Config{ID: id, ListenAddr: "127.0.0.1:0",
+			Handler: cli, Directory: dir, Logf: quiet, Wire: proto.WireBinary})
+		if err != nil {
+			panic(fmt.Sprintf("transport-compare: cores client: %v", err))
+		}
+		rco.SetPeer(id, rcli.Addr())
+		rclis[i] = rcli
+		rcli.Do(func() {
+			for j := 0; j < inflight && submitted < perClient; j++ {
+				submitted++
+				cli.Submit("noop", nil, 0, 0)
+			}
+		})
+	}
+
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		// Watchdog: report whatever completed instead of hanging CI.
+	}
+
+	measMu.Lock()
+	res.acked = acked
+	if acked > 0 && lastAck.After(start) {
+		res.throughput = float64(acked) / lastAck.Sub(start).Seconds()
+	}
+	measMu.Unlock()
+
+	for _, rcli := range rclis {
+		rcli.Close()
+	}
+	rco.Close()
+	for _, rsv := range rsvs {
+		rsv.Close()
 	}
 	return res
 }

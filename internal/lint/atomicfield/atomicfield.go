@@ -55,6 +55,14 @@ func run(pass *analysis.Pass) error {
 			if callee == nil || !astutil.PkgPathIs(callee.Pkg(), "sync/atomic") {
 				return true
 			}
+			// Only the package-level functions take the atomic location
+			// as an argument. Methods of the typed wrappers
+			// (atomic.Pointer[T].Store(&x), atomic.Value.Store(&x), ...)
+			// receive &x as a stored VALUE — the atomic location is the
+			// receiver — so their arguments claim no ownership of x.
+			if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
 			for _, arg := range call.Args {
 				unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
 				if !ok || unary.Op != token.AND {

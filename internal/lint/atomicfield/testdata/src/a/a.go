@@ -37,3 +37,19 @@ func fine(c *counters) uint64 {
 func fresh() *counters {
 	return &counters{sent: 0, recv: 0}
 }
+
+// An address passed to a typed wrapper's method is a stored value, not
+// an atomic location: head.Store(&q.stub) does not make stub atomically
+// owned (the MPSC ring's sentinel-node pattern).
+type ring struct {
+	head atomic.Pointer[node]
+	stub node
+}
+
+type node struct{ next *node }
+
+func (q *ring) seed() {
+	q.head.Store(&q.stub)
+	q.stub.next = nil // ok: stub itself is consumer-owned, not atomic
+	_ = &q.stub       // ok
+}

@@ -8,6 +8,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/bits"
@@ -386,6 +387,22 @@ func (t *Table) Write(w io.Writer) {
 		}
 		fmt.Fprintln(w, strings.TrimRight(line.String(), " "))
 	}
+}
+
+// MarshalJSON renders the table as a machine-readable object — title,
+// column headers, and the already-formatted cell strings — so tools
+// consuming rpcv-bench -json output parse exactly the values the text
+// tables display.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := t.rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}{t.Title, t.Columns, rows})
 }
 
 // String renders the table to a string.

@@ -23,9 +23,13 @@
 // byte, decodes until EOF, and a single-envelope (or single-frame)
 // stream is simply the shortest case.
 //
-// Each runtime runs its handler on a single event loop goroutine, so
-// handlers keep the no-locking discipline they have under the
-// simulator.
+// A runtime runs its handler on Config.Loops per-core event loops
+// (default 1). Handlers implementing node.PartitionedHandler are split
+// into one partition per loop; sessions are hash-pinned to loops with
+// the shard layer's consistent hashing (shard.LoopMap), so every
+// handler keeps the no-locking discipline it has under the simulator —
+// per loop. See loop.go and route.go. Loops=1 reproduces the
+// single-loop runtime exactly, including its wire bytes.
 package rt
 
 import (
@@ -36,6 +40,7 @@ import (
 	"log"
 	"math/rand"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,6 +48,7 @@ import (
 	"rpcv/internal/node"
 	"rpcv/internal/obs"
 	"rpcv/internal/proto"
+	"rpcv/internal/shard"
 	"rpcv/internal/store"
 )
 
@@ -71,7 +77,18 @@ type Config struct {
 	Store string
 	// Handler is the protocol state machine to host.
 	Handler node.Handler
-	// Seed for the node's RNG; 0 derives one from the ID.
+	// Loops is the number of per-core event loops hosting the handler.
+	// 0 or 1 means the classic single loop. Values above 1 require the
+	// handler to implement node.PartitionedHandler — otherwise the
+	// runtime clamps to 1 — and pin each session to one loop with the
+	// shard layer's consistent hashing, so submit throughput scales
+	// with cores while handlers stay lock-free per loop. Peers in one
+	// coordinator ring should run the same value (loop-tagged traffic
+	// routes partition j to partition j); a single-loop node is always
+	// wire-compatible with any peer.
+	Loops int
+	// Seed for the node's RNG; 0 derives one from the ID. Each loop
+	// derives its own stream from this seed.
 	Seed int64
 	// Logf, when non-nil, receives trace output (default: log.Printf).
 	Logf func(format string, args ...any)
@@ -106,11 +123,13 @@ type Config struct {
 	IdleTimeout time.Duration
 	// Obs, when non-nil, receives runtime metrics: the transport
 	// counters and batch sizes, the store's write-to-durable latency,
-	// and (on the wal engine) the group-commit and snapshot counters,
-	// all labeled node="<ID>". Counters the hot path already maintains
-	// are exposed as scrape-time funcs, so observability costs nothing
-	// per message; the write-latency histogram adds a few atomic adds
-	// per durable write. Nil disables everything.
+	// (on the wal engine) the group-commit and snapshot counters, all
+	// labeled node="<ID>", and per-loop counters (tasks, handoffs,
+	// mailbox depth, pending timers) labeled node + loop. Counters the
+	// hot path already maintains are exposed as scrape-time funcs, so
+	// observability costs nothing per message; the write-latency
+	// histogram adds a few atomic adds per durable write. Nil disables
+	// everything.
 	Obs *obs.Observer
 	// MaxInboundConns caps concurrent inbound connections; beyond it,
 	// new connections are shed (accepted, immediately closed, counted
@@ -128,13 +147,15 @@ type envelope struct {
 	Msg  proto.Message
 }
 
-// Runtime hosts one handler.
+// Runtime hosts one handler across one or more event loops.
 type Runtime struct {
 	cfg   Config
 	ln    net.Listener
 	store store.Store
-	disk  node.Disk
-	rng   *rand.Rand
+
+	loops   []*loop
+	loopMap *shard.LoopMap
+	fromIDs []proto.NodeID // wire From per loop (tagged when len(loops)>1)
 
 	mu     sync.Mutex
 	dir    Directory
@@ -152,9 +173,8 @@ type Runtime struct {
 	obsBatch *obs.Histogram
 	obsWrite *obs.Histogram
 
-	mailbox chan func()
-	quit    chan struct{}
-	wg      sync.WaitGroup
+	quit chan struct{}
+	wg   sync.WaitGroup
 }
 
 // Start creates the runtime, binds its listener and boots the handler.
@@ -193,17 +213,52 @@ func Start(cfg Config) (*Runtime, error) {
 		seed ^= time.Now().UnixNano()
 	}
 
+	// Resolve the loop count and partition the handler. A handler that
+	// cannot partition is clamped to one loop: correctness first, the
+	// flag is a capability request, not a promise.
+	nloops := cfg.Loops
+	if nloops < 1 {
+		nloops = 1
+	}
+	var handlers []node.Handler
+	if nloops > 1 {
+		if ph, ok := cfg.Handler.(node.PartitionedHandler); ok {
+			handlers = ph.Partition(nloops)
+			if len(handlers) != nloops || handlers[0] == nil {
+				return nil, fmt.Errorf("rt: handler partitioned into %d of %d loops", len(handlers), nloops)
+			}
+		} else {
+			cfg.Logf("rt(%s): handler %T cannot partition; clamping %d loops to 1", cfg.ID, cfg.Handler, nloops)
+			nloops = 1
+		}
+	}
+	if nloops == 1 {
+		handlers = []node.Handler{cfg.Handler}
+	}
+
 	r := &Runtime{
 		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(seed)),
 		dir:     make(Directory, len(cfg.Directory)),
 		conns:   make(map[net.Conn]struct{}),
 		senders: make(map[proto.NodeID]*sender),
-		mailbox: make(chan func(), 1024),
+		loopMap: shard.NewLoopMap(nloops),
 		quit:    make(chan struct{}),
 	}
 	for id, addr := range cfg.Directory {
 		r.dir[id] = addr
+	}
+
+	// The wire From per loop: a single-loop runtime sends the bare ID
+	// (byte-identical to the pre-multi-core wire); a multi-loop one
+	// tags every frame with its originating loop so a multi-loop peer
+	// can route loop-symmetric traffic j -> j.
+	r.fromIDs = make([]proto.NodeID, nloops)
+	for i := range r.fromIDs {
+		if nloops == 1 {
+			r.fromIDs[i] = cfg.ID
+		} else {
+			r.fromIDs[i] = cfg.ID + proto.NodeID(loopTagSep+strconv.Itoa(i))
+		}
 	}
 
 	if cfg.DiskDir != "" {
@@ -215,8 +270,41 @@ func Start(cfg Config) (*Runtime, error) {
 	} else {
 		r.store = store.NewMemory()
 	}
-	r.disk = &loopDisk{rt: r}
+
+	// Build the loops: per-loop RNG stream, store lane (when the
+	// engine supports per-loop staging; mutex-guarded engines are
+	// shared directly), env and disk adapter.
+	laner, _ := r.store.(store.Laner)
+	r.loops = make([]*loop, nloops)
+	for i := 0; i < nloops; i++ {
+		l := &loop{
+			idx:     i,
+			r:       r,
+			handler: handlers[i],
+			mailbox: make(chan func(), 1024),
+			wake:    make(chan struct{}, 1),
+			rng:     rand.New(rand.NewSource(seed + int64(i)*0x9E3779B9)),
+		}
+		l.store = r.store
+		if laner != nil && nloops > 1 {
+			l.store = laner.Lane()
+		}
+		l.disk = &loopDisk{l: l}
+		l.env = &rtEnv{l: l}
+		r.loops[i] = l
+	}
 	r.registerObs()
+
+	// Seed each mailbox with the handler's Start BEFORE any goroutine
+	// that could deliver traffic exists: a peer connecting in the
+	// window between the accept loop spawning and Start being posted
+	// would otherwise have its message Received by an un-Started
+	// handler. The mailboxes are empty and loops not yet running, so
+	// the sends cannot block.
+	for _, l := range r.loops {
+		l := l
+		l.mailbox <- func() { l.handler.Start(l.env) }
+	}
 
 	if cfg.ListenAddr != "" {
 		ln, err := net.Listen("tcp", cfg.ListenAddr)
@@ -232,11 +320,10 @@ func Start(cfg Config) (*Runtime, error) {
 		go r.acceptLoop()
 	}
 
-	r.wg.Add(1)
-	go r.eventLoop()
-
-	env := &rtEnv{rt: r}
-	r.Do(func() { cfg.Handler.Start(env) })
+	for _, l := range r.loops {
+		r.wg.Add(1)
+		go l.run()
+	}
 	return r, nil
 }
 
@@ -258,6 +345,18 @@ func (r *Runtime) registerObs() {
 	reg.GaugeFunc("rpcv_transport_inbound_conns", func() float64 { return float64(r.inbound.Load()) }, nl)
 	r.obsBatch = reg.Histogram("rpcv_transport_batch_msgs", nl)
 	r.obsWrite = reg.Histogram("rpcv_store_write_latency_ns", nl)
+	for _, l := range r.loops {
+		l := l
+		ll := obs.L("loop", strconv.Itoa(l.idx))
+		reg.CounterFunc("rpcv_loop_tasks_total", l.tasks.Load, nl, ll)
+		reg.CounterFunc("rpcv_loop_handoffs_total", l.handoffs.Load, nl, ll)
+		reg.GaugeFunc("rpcv_loop_mailbox_depth", func() float64 { return float64(len(l.mailbox)) }, nl, ll)
+		reg.GaugeFunc("rpcv_loop_timers", func() float64 {
+			l.tmu.Lock()
+			defer l.tmu.Unlock()
+			return float64(len(l.timers))
+		}, nl, ll)
+	}
 	if w, ok := r.store.(interface{ Stats() store.WALStats }); ok {
 		reg.CounterFunc("rpcv_store_wal_commits_total", func() uint64 { return w.Stats().Commits }, nl)
 		reg.CounterFunc("rpcv_store_wal_committed_ops_total", func() uint64 { return w.Stats().CommittedOps }, nl)
@@ -278,6 +377,17 @@ func (r *Runtime) Addr() string {
 // ID returns the hosted node's identifier.
 func (r *Runtime) ID() proto.NodeID { return r.cfg.ID }
 
+// Loops returns the number of event loops hosting the handler.
+func (r *Runtime) Loops() int { return len(r.loops) }
+
+// LoopFor returns the loop index owning a session under this runtime's
+// placement — the same consistent hashing the delivery path uses, so
+// callers (experiments, tests, statusz) can predict or balance
+// placement.
+func (r *Runtime) LoopFor(user proto.UserID, session proto.SessionID) int {
+	return r.loopMap.Owner(user, session)
+}
+
 // SetPeer updates the directory entry for a peer (e.g. after a
 // coordinator-list merge carried addresses out of band).
 func (r *Runtime) SetPeer(id proto.NodeID, addr string) {
@@ -286,32 +396,41 @@ func (r *Runtime) SetPeer(id proto.NodeID, addr string) {
 	r.dir[id] = addr
 }
 
-// Do runs fn on the handler's event loop and returns once it executed.
-// It is how application code (the GridRPC facade) calls into the hosted
-// handler safely.
-func (r *Runtime) Do(fn func()) {
+// Do runs fn on loop 0 and returns once it executed. It is how
+// application code (the GridRPC facade) calls into the hosted handler
+// safely. On a partitioned handler it reaches partition 0 only; use
+// DoOn for a specific partition.
+func (r *Runtime) Do(fn func()) { r.DoOn(0, fn) }
+
+// DoOn runs fn on loop i's event loop and returns once it executed.
+func (r *Runtime) DoOn(i int, fn func()) {
+	l := r.loops[i]
 	done := make(chan struct{})
 	select {
-	case r.mailbox <- func() { fn(); close(done) }:
+	case l.mailbox <- func() { fn(); close(done) }:
 		<-done
 	case <-r.quit:
 	}
 }
 
-// Ping proves the event loop is live: it schedules a no-op and waits
-// at most d for the loop to run it. A nil return means the loop both
-// accepted and executed work within the budget; the error otherwise
-// says which half stalled. It is the liveness probe behind the
-// daemons' /healthz — safe to call from any goroutine, including
+// Ping proves loop 0 is live; see PingLoop.
+func (r *Runtime) Ping(d time.Duration) error { return r.PingLoop(0, d) }
+
+// PingLoop proves event loop i is live: it schedules a no-op and
+// waits at most d for the loop to run it. A nil return means the loop
+// both accepted and executed work within the budget; the error
+// otherwise says which half stalled. It is the liveness probe behind
+// the daemons' /healthz — safe to call from any goroutine, including
 // after Close (which reports the runtime as stopped).
-func (r *Runtime) Ping(d time.Duration) error {
+func (r *Runtime) PingLoop(i int, d time.Duration) error {
+	l := r.loops[i]
 	timer := time.NewTimer(d)
 	defer timer.Stop()
 	done := make(chan struct{})
 	select {
-	case r.mailbox <- func() { close(done) }:
+	case l.mailbox <- func() { close(done) }:
 	case <-timer.C:
-		return fmt.Errorf("event loop did not accept work within %v (mailbox full)", d)
+		return fmt.Errorf("event loop %d did not accept work within %v (mailbox full)", i, d)
 	case <-r.quit:
 		return fmt.Errorf("runtime stopped")
 	}
@@ -319,18 +438,48 @@ func (r *Runtime) Ping(d time.Duration) error {
 	case <-done:
 		return nil
 	case <-timer.C:
-		return fmt.Errorf("event loop did not respond within %v", d)
+		return fmt.Errorf("event loop %d did not respond within %v", i, d)
 	case <-r.quit:
 		return fmt.Errorf("runtime stopped")
 	}
 }
 
-// DoAsync schedules fn on the event loop without waiting.
-func (r *Runtime) DoAsync(fn func()) {
+// DoAsync schedules fn on loop 0 without waiting.
+func (r *Runtime) DoAsync(fn func()) { r.DoAsyncOn(0, fn) }
+
+// DoAsyncOn schedules fn on loop i without waiting.
+func (r *Runtime) DoAsyncOn(i int, fn func()) {
 	select {
-	case r.mailbox <- fn:
+	case r.loops[i].mailbox <- fn:
 	case <-r.quit:
 	}
+}
+
+// LoopStat is a point-in-time snapshot of one event loop, for statusz.
+type LoopStat struct {
+	Loop         int    `json:"loop"`
+	Tasks        uint64 `json:"tasks"`
+	Handoffs     uint64 `json:"handoffs"`
+	MailboxDepth int    `json:"mailbox_depth"`
+	Timers       int    `json:"timers"`
+}
+
+// LoopStats snapshots every loop's counters. Safe from any goroutine.
+func (r *Runtime) LoopStats() []LoopStat {
+	out := make([]LoopStat, len(r.loops))
+	for i, l := range r.loops {
+		l.tmu.Lock()
+		timers := len(l.timers)
+		l.tmu.Unlock()
+		out[i] = LoopStat{
+			Loop:         i,
+			Tasks:        l.tasks.Load(),
+			Handoffs:     l.handoffs.Load(),
+			MailboxDepth: len(l.mailbox),
+			Timers:       timers,
+		}
+	}
+	return out
 }
 
 // Close stops the handler and releases the listener. It does not
@@ -345,7 +494,10 @@ func (r *Runtime) Close() {
 	r.closed = true
 	r.mu.Unlock()
 
-	r.Do(func() { r.cfg.Handler.Stop() })
+	for _, l := range r.loops {
+		l := l
+		r.DoOn(l.idx, func() { l.handler.Stop() })
+	}
 	close(r.quit)
 	if r.ln != nil {
 		r.ln.Close()
@@ -387,26 +539,6 @@ func (r *Runtime) untrack(conn net.Conn) {
 	r.mu.Lock()
 	delete(r.conns, conn)
 	r.mu.Unlock()
-}
-
-func (r *Runtime) eventLoop() {
-	defer r.wg.Done()
-	for {
-		select {
-		case fn := <-r.mailbox:
-			fn()
-		case <-r.quit:
-			// Drain what is already queued, then stop.
-			for {
-				select {
-				case fn := <-r.mailbox:
-					fn()
-				default:
-					return
-				}
-			}
-		}
-	}
 }
 
 func (r *Runtime) acceptLoop() {
@@ -453,7 +585,8 @@ func (r *Runtime) acceptLoop() {
 // decoded until EOF (length-of-stream framing). The legacy connection-
 // per-message transport produces the degenerate one-envelope (or
 // one-frame) stream, so every transport/codec combination shares this
-// read path — which is what lets a mixed cluster interoperate.
+// read path — which is what lets a mixed cluster interoperate. Each
+// message is routed to its owning loop by deliver (route.go).
 func (r *Runtime) handleConn(conn net.Conn) {
 	defer r.wg.Done()
 	defer r.inbound.Add(-1)
@@ -488,7 +621,7 @@ func (r *Runtime) handleConn(conn net.Conn) {
 				}
 				return
 			}
-			r.DoAsync(func() { r.cfg.Handler.Receive(from, msg) })
+			r.deliver(from, msg)
 		}
 	}
 	dec := gob.NewDecoder(br)
@@ -504,7 +637,7 @@ func (r *Runtime) handleConn(conn net.Conn) {
 		if env.Msg == nil {
 			continue
 		}
-		r.DoAsync(func() { r.cfg.Handler.Receive(env.From, env.Msg) })
+		r.deliver(env.From, env.Msg)
 	}
 }
 
@@ -516,31 +649,33 @@ func (r *Runtime) lookup(to proto.NodeID) (string, bool) {
 	return addr, ok
 }
 
-// send hands msg to the peer's transport. On the pooled transport
-// (default) it enqueues on the peer's sender: never blocking, dropping
-// the oldest queued envelope on overflow. With LegacyTransport it
-// keeps the paper's literal behaviour: one goroutine dials, writes one
-// envelope and closes. Failures are silent either way (best-effort
-// network): the protocol's heartbeats and resends own all recovery.
-func (r *Runtime) send(to proto.NodeID, msg proto.Message) {
+// send hands msg to the peer's transport, stamped with the originating
+// loop's wire From. On the pooled transport (default) it enqueues on
+// the peer's sender: never blocking, dropping the oldest queued
+// envelope on overflow. With LegacyTransport it keeps the paper's
+// literal behaviour: one goroutine dials, writes one envelope and
+// closes. Failures are silent either way (best-effort network): the
+// protocol's heartbeats and resends own all recovery.
+func (r *Runtime) send(to proto.NodeID, msg proto.Message, loopIdx int) {
 	if _, ok := r.lookup(to); !ok {
 		r.cfg.Logf("rt(%s): no address for %s, dropping %s", r.cfg.ID, to, msg.Kind())
 		return
 	}
+	from := r.taggedFrom(loopIdx)
 	if r.cfg.LegacyTransport {
 		// wg-tracked so Close waits even for these; worst case is one
 		// DialTimeout for an in-flight dial to an unreachable peer.
 		r.wg.Add(1)
-		go r.sendLegacy(to, msg)
+		go r.sendLegacy(to, msg, from)
 		return
 	}
-	r.senderFor(to).enqueue(msg)
+	r.senderFor(to).enqueue(outMsg{msg: msg, from: from})
 }
 
 // sendLegacy performs one paper-style connection-per-message send:
 // dial, write one envelope (or preface + one frame on the binary
 // codec), close.
-func (r *Runtime) sendLegacy(to proto.NodeID, msg proto.Message) {
+func (r *Runtime) sendLegacy(to proto.NodeID, msg proto.Message, from proto.NodeID) {
 	defer r.wg.Done()
 	addr, ok := r.lookup(to)
 	if !ok {
@@ -560,12 +695,12 @@ func (r *Runtime) sendLegacy(to proto.NodeID, msg proto.Message) {
 	if r.cfg.Wire == proto.WireBinary {
 		buf := proto.GetBuffer()
 		buf.B = append(buf.B, proto.FramePreface[:]...)
-		if buf.B, err = proto.AppendFrame(buf.B, r.cfg.ID, msg); err == nil {
+		if buf.B, err = proto.AppendFrame(buf.B, from, msg); err == nil {
 			_, err = conn.Write(buf.B)
 		}
 		proto.PutBuffer(buf)
 	} else {
-		env := envelope{From: r.cfg.ID, Msg: msg}
+		env := envelope{From: from, Msg: msg}
 		err = gob.NewEncoder(conn).Encode(&env)
 	}
 	if err != nil {
@@ -581,100 +716,90 @@ func (r *Runtime) sendLegacy(to proto.NodeID, msg proto.Message) {
 // Env implementation
 // ---------------------------------------------------------------------
 
-type rtEnv struct{ rt *Runtime }
+type rtEnv struct{ l *loop }
 
-var _ node.Env = (*rtEnv)(nil)
+var (
+	_ node.Env      = (*rtEnv)(nil)
+	_ node.LoopInfo = (*rtEnv)(nil)
+)
 
-func (e *rtEnv) Self() proto.NodeID { return e.rt.cfg.ID }
+func (e *rtEnv) Self() proto.NodeID { return e.l.r.cfg.ID }
 func (e *rtEnv) Now() time.Time     { return time.Now() }
-func (e *rtEnv) Rand() *rand.Rand   { return e.rt.rng }
-func (e *rtEnv) Disk() node.Disk    { return e.rt.disk }
+func (e *rtEnv) Disk() node.Disk    { return e.l.disk }
+
+// Rand returns the loop-private RNG: each loop seeds its own stream,
+// so concurrent loops never share (and never race on) one rand.Rand.
+func (e *rtEnv) Rand() *rand.Rand { return e.l.rng }
+
+// Loop implements node.LoopInfo: the partition's placement.
+func (e *rtEnv) Loop() (int, int) { return e.l.idx, len(e.l.r.loops) }
 
 func (e *rtEnv) Logf(format string, args ...any) {
-	e.rt.cfg.Logf("%s: %s", e.rt.cfg.ID, fmt.Sprintf(format, args...))
+	e.l.r.cfg.Logf("%s: %s", e.l.r.cfg.ID, fmt.Sprintf(format, args...))
 }
 
 // Send hands msg to the transport without ever blocking the loop: the
 // pooled transport enqueues (dropping oldest on overflow) and the
-// legacy transport dials on its own goroutine.
+// legacy transport dials on its own goroutine. The frame carries this
+// loop's From tag so a multi-loop peer routes it loop-symmetrically.
 //
 //rpcv:loop-only
-func (e *rtEnv) Send(to proto.NodeID, msg proto.Message) { e.rt.send(to, msg) }
+func (e *rtEnv) Send(to proto.NodeID, msg proto.Message) { e.l.r.send(to, msg, e.l.idx) }
 
-// After registers a loop timer: fn fires on the event loop via
-// DoAsync, and a Stop that loses the race is honoured by the stopped
-// check inside the marshalled closure.
+// After registers a timer on this loop's timer heap: fn fires on the
+// owning loop when the deadline passes, and Stop removes it from the
+// heap.
 //
 //rpcv:loop-only
 func (e *rtEnv) After(d time.Duration, fn func()) node.Timer {
-	t := &rtTimer{}
-	t.timer = time.AfterFunc(d, func() {
-		e.rt.DoAsync(func() {
-			t.mu.Lock()
-			stopped := t.stopped
-			t.mu.Unlock()
-			if !stopped {
-				fn()
-			}
-		})
-	})
-	return t
-}
-
-type rtTimer struct {
-	mu      sync.Mutex
-	stopped bool
-	timer   *time.Timer
-}
-
-func (t *rtTimer) Stop() {
-	t.mu.Lock()
-	t.stopped = true
-	t.mu.Unlock()
-	t.timer.Stop()
+	return e.l.after(d, fn)
 }
 
 // ---------------------------------------------------------------------
 // Stable storage
 // ---------------------------------------------------------------------
 
-// loopDisk adapts the runtime's durable store (internal/store) to the
-// node.BatchDisk contract: synchronous operations pass through, and
-// WriteAsync completion callbacks — which a group-commit engine runs
-// on its committer goroutine — are marshalled back onto the node's
-// event loop, preserving the handlers' no-locking discipline.
-type loopDisk struct{ rt *Runtime }
+// loopDisk adapts a loop's durable store (internal/store; a per-loop
+// staging lane on engines that support one) to the node.BatchDisk
+// contract: synchronous operations pass through, and WriteAsync
+// completion callbacks — which a group-commit engine runs on its
+// committer goroutine — are marshalled back onto the owning loop,
+// preserving the handlers' no-locking discipline. Completions ride the
+// loop's lock-free handoff ring, never its bounded mailbox: a
+// committer blocked on a full mailbox would deadlock any loop waiting
+// inside a synchronous Write of the same batch.
+type loopDisk struct{ l *loop }
 
 var _ node.BatchDisk = (*loopDisk)(nil)
 
 func (d *loopDisk) Write(key string, value []byte) error {
-	if h := d.rt.obsWrite; h != nil {
+	if h := d.l.r.obsWrite; h != nil {
 		start := time.Now()
-		err := d.rt.store.Write(key, value)
+		err := d.l.store.Write(key, value)
 		h.Since(start)
 		return err
 	}
-	return d.rt.store.Write(key, value)
+	return d.l.store.Write(key, value)
 }
 
-func (d *loopDisk) Read(key string) ([]byte, bool) { return d.rt.store.Read(key) }
-func (d *loopDisk) Delete(key string) error        { return d.rt.store.Delete(key) }
-func (d *loopDisk) Keys(prefix string) []string    { return d.rt.store.Keys(prefix) }
-func (d *loopDisk) Sync() error                    { return d.rt.store.Sync() }
+func (d *loopDisk) Read(key string) ([]byte, bool) { return d.l.store.Read(key) }
+func (d *loopDisk) Delete(key string) error        { return d.l.store.Delete(key) }
+func (d *loopDisk) Keys(prefix string) []string    { return d.l.store.Keys(prefix) }
+func (d *loopDisk) Sync() error                    { return d.l.store.Sync() }
 
 func (d *loopDisk) WriteAsync(key string, value []byte, done func(error)) {
 	if done == nil {
-		d.rt.store.WriteAsync(key, value, nil)
+		d.l.store.WriteAsync(key, value, nil)
 		return
 	}
 	// Engines without real batching (files, memory) complete the write
 	// synchronously, invoking the callback on this goroutine — the
-	// node's event loop. Routing that through DoAsync would have the
-	// loop send to its own mailbox, a self-deadlock once the mailbox
-	// is full. Detect completion-before-return and invoke done inline
-	// (still on the event loop); only callbacks arriving later — from
-	// a committer goroutine — are marshalled through the mailbox.
-	if h := d.rt.obsWrite; h != nil {
+	// owning event loop. Routing that through the handoff ring would
+	// defer it behind unrelated work; detect completion-before-return
+	// and invoke done inline (still on the owning loop). Only
+	// callbacks arriving later — from a committer goroutine — are
+	// marshalled back through the loop's handoff ring.
+	if h := d.l.r.obsWrite; h != nil {
 		// Completion time includes group-commit queueing: the latency a
 		// handler actually waits for durability, which is the number
 		// the fsync-amortization story must be judged by.
@@ -686,7 +811,7 @@ func (d *loopDisk) WriteAsync(key string, value []byte, done func(error)) {
 		}
 	}
 	st := &asyncWriteState{}
-	d.rt.store.WriteAsync(key, value, func(err error) {
+	d.l.store.WriteAsync(key, value, func(err error) {
 		st.mu.Lock()
 		if !st.returned {
 			st.fired, st.err = true, err
@@ -694,9 +819,11 @@ func (d *loopDisk) WriteAsync(key string, value []byte, done func(error)) {
 			return
 		}
 		st.mu.Unlock()
-		// A callback arriving during shutdown is dropped with the
-		// mailbox — indistinguishable from the crash it models.
-		d.rt.DoAsync(func() { done(err) })
+		// The ring survives shutdown draining, so a callback racing
+		// Close still lands; one arriving after the final drain is
+		// dropped with the loop — indistinguishable from the crash it
+		// models.
+		d.l.post(func() { done(err) })
 	})
 	st.mu.Lock()
 	st.returned = true

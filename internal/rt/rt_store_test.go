@@ -1,6 +1,7 @@
 package rt
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -76,6 +77,24 @@ func TestStoreEngineMismatchRefused(t *testing.T) {
 // and the reopened store holds a finished, durable record for every
 // call.
 func TestWALCoordinatorKillAndRestartRecovery(t *testing.T) {
+	runWALKillRestart(t, 1, 1)
+}
+
+// TestWALCoordinatorKillAndRestartRecoveryMultiLoop is the same crash
+// over a partitioned coordinator: four event loops, four client
+// sessions hash-pinned across them, each partition writing job records
+// through its own store lane and its own epoch key. The restarted
+// incarnation must hand every partition exactly its session slice
+// back, with no record lost to a lane whose staging missed the final
+// group commit.
+func TestWALCoordinatorKillAndRestartRecoveryMultiLoop(t *testing.T) {
+	runWALKillRestart(t, 4, 4)
+}
+
+// runWALKillRestart drives one kill-and-restart recovery scenario with
+// the coordinator on the given loop count and nClients one-session
+// clients spread over distinct users.
+func runWALKillRestart(t *testing.T, loops, nClients int) {
 	const (
 		total   = 60
 		beat    = 25 * time.Millisecond
@@ -93,11 +112,14 @@ func TestWALCoordinatorKillAndRestartRecovery(t *testing.T) {
 	}
 	coordCfg := func(h *coordinator.Coordinator) Config {
 		return Config{ID: "co", ListenAddr: "127.0.0.1:0", Handler: h,
-			DiskDir: coordDir, Store: "wal", Logf: quietLogf}
+			DiskDir: coordDir, Store: "wal", Loops: loops, Logf: quietLogf}
 	}
 	rco, err := Start(coordCfg(newCoord()))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if rco.Loops() != loops {
+		t.Fatalf("coordinator runs %d loops, want %d", rco.Loops(), loops)
 	}
 	dir := Directory{"co": rco.Addr()}
 
@@ -124,35 +146,41 @@ func TestWALCoordinatorKillAndRestartRecovery(t *testing.T) {
 
 	var (
 		mu      sync.Mutex
-		results = map[proto.RPCSeq]bool{}
+		results = map[proto.CallID]bool{}
 	)
-	cli := client.New(client.Config{
-		User:             "u",
-		Session:          1,
-		Coordinators:     []proto.NodeID{"co"},
-		PollPeriod:       beat,
-		SuspicionTimeout: suspect,
-		Logging:          msglog.NonBlockingPessimistic,
-		Disk:             msglog.InstantDisk(),
-		OnResult: func(res proto.Result, _ time.Time) {
-			mu.Lock()
-			results[res.Call.Seq] = true
-			mu.Unlock()
-		},
-	})
-	rcli, err := Start(Config{ID: "cli", ListenAddr: "127.0.0.1:0", Handler: cli,
-		Directory: dir, Logf: quietLogf})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer rcli.Close()
-	rco.SetPeer("cli", rcli.Addr())
-
-	rcli.Do(func() {
-		for i := 0; i < total; i++ {
-			cli.Submit("noop", nil, 0, 0)
+	perClient := total / nClients
+	var rclis []*Runtime
+	for c := 0; c < nClients; c++ {
+		user := proto.UserID(fmt.Sprintf("u%d", c))
+		cli := client.New(client.Config{
+			User:             user,
+			Session:          proto.SessionID(c + 1),
+			Coordinators:     []proto.NodeID{"co"},
+			PollPeriod:       beat,
+			SuspicionTimeout: suspect,
+			Logging:          msglog.NonBlockingPessimistic,
+			Disk:             msglog.InstantDisk(),
+			OnResult: func(res proto.Result, _ time.Time) {
+				mu.Lock()
+				results[res.Call] = true
+				mu.Unlock()
+			},
+		})
+		id := proto.NodeID(fmt.Sprintf("cli%d", c))
+		rcli, err := Start(Config{ID: id, ListenAddr: "127.0.0.1:0", Handler: cli,
+			Directory: dir, Logf: quietLogf})
+		if err != nil {
+			t.Fatal(err)
 		}
-	})
+		defer rcli.Close()
+		rco.SetPeer(id, rcli.Addr())
+		rclis = append(rclis, rcli)
+		rcli.Do(func() {
+			for i := 0; i < perClient; i++ {
+				cli.Submit("noop", nil, 0, 0)
+			}
+		})
+	}
 
 	resultCount := func() int {
 		mu.Lock()
@@ -169,18 +197,21 @@ func TestWALCoordinatorKillAndRestartRecovery(t *testing.T) {
 	rco.Close()
 
 	// Restart over the same store directory: recovery rebuilds the job
-	// table from snapshot + log tail, re-queues interrupted work and
-	// keeps finished records.
+	// table from snapshot + log tail — each partition loading only its
+	// owned session slice — re-queues interrupted work and keeps
+	// finished records.
 	rco2, err := Start(coordCfg(newCoord()))
 	if err != nil {
 		t.Fatalf("coordinator restart: %v", err)
 	}
-	rco2.SetPeer("cli", rcli.Addr())
+	for _, rcli := range rclis {
+		rco2.SetPeer(rcli.ID(), rcli.Addr())
+		rcli.SetPeer("co", rco2.Addr())
+	}
 	for i, rsv := range rsvs {
 		rco2.SetPeer(rsv.ID(), rsv.Addr())
 		rsvs[i].SetPeer("co", rco2.Addr())
 	}
-	rcli.SetPeer("co", rco2.Addr())
 
 	if !waitFor(t, 60*time.Second, func() bool { return resultCount() >= total }) {
 		t.Fatalf("after restart: %d/%d results (had %d before the crash) — completed work was lost",

@@ -81,13 +81,21 @@ func (r *Runtime) TransportStats() TransportStats {
 	}
 }
 
+// outMsg is one queued envelope: the message plus the wire From of
+// the loop that sent it (tagged on multi-loop runtimes, the bare node
+// ID on single-loop ones — see route.go).
+type outMsg struct {
+	msg  proto.Message
+	from proto.NodeID
+}
+
 // sender owns the pooled connection to one peer.
 type sender struct {
 	rt *Runtime
 	to proto.NodeID
 
 	mu      sync.Mutex
-	queue   []proto.Message
+	queue   []outMsg
 	retired bool
 
 	wake chan struct{} // 1-buffered doorbell
@@ -111,7 +119,7 @@ func (r *Runtime) senderFor(to proto.NodeID) *sender {
 // enqueue adds msg to the bounded queue, dropping the oldest envelope
 // when full. It never blocks. If the sender retired concurrently it
 // re-resolves a fresh one.
-func (s *sender) enqueue(msg proto.Message) {
+func (s *sender) enqueue(msg outMsg) {
 	for {
 		s.mu.Lock()
 		if s.retired {
@@ -135,7 +143,7 @@ func (s *sender) enqueue(msg proto.Message) {
 }
 
 // drain takes the whole queue: one coalesced batch.
-func (s *sender) drain() []proto.Message {
+func (s *sender) drain() []outMsg {
 	s.mu.Lock()
 	batch := s.queue
 	s.queue = nil
@@ -260,7 +268,7 @@ func (s *sender) run() {
 				buf := proto.GetBuffer()
 				for _, m := range batch {
 					var ferr error
-					if buf.B, ferr = proto.AppendFrame(buf.B, s.rt.cfg.ID, m); ferr != nil {
+					if buf.B, ferr = proto.AppendFrame(buf.B, m.from, m.msg); ferr != nil {
 						// Over the frame cap: drop this message alone
 						// (best effort) instead of poisoning the
 						// connection for the whole batch.
@@ -272,9 +280,9 @@ func (s *sender) run() {
 				_, werr = bw.Write(buf.B)
 				proto.PutBuffer(buf)
 			} else {
-				env := envelope{From: s.rt.cfg.ID}
+				var env envelope
 				for _, m := range batch {
-					env.Msg = m
+					env.From, env.Msg = m.from, m.msg
 					if werr = enc.Encode(&env); werr != nil {
 						break
 					}

@@ -1,0 +1,55 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"rpcv/internal/proto"
+)
+
+// TestLoopMapDeterministic: the placement is a pure function of the
+// loop count — two maps built independently agree on every session, so
+// a sender can predict a receiver's routing without agreement.
+func TestLoopMapDeterministic(t *testing.T) {
+	a, b := NewLoopMap(4), NewLoopMap(4)
+	for s := 1; s <= 200; s++ {
+		u := proto.UserID(fmt.Sprintf("user-%d", s%7))
+		if a.Owner(u, proto.SessionID(s)) != b.Owner(u, proto.SessionID(s)) {
+			t.Fatalf("maps disagree on %s/%d", u, s)
+		}
+	}
+}
+
+// TestLoopMapSingleLoopOwnsAll: a single-loop map pins everything to
+// loop 0 without consulting the circle.
+func TestLoopMapSingleLoopOwnsAll(t *testing.T) {
+	m := NewLoopMap(1)
+	for s := 1; s <= 50; s++ {
+		if got := m.Owner("u", proto.SessionID(s)); got != 0 {
+			t.Fatalf("Owner = %d, want 0", got)
+		}
+	}
+}
+
+// TestLoopMapBalance: sessions must spread over the loops — including
+// the adversarial-but-typical case of one user with consecutive
+// session IDs, where raw FNV-1a would park every session in the same
+// gap of the circle (the regression mix64 exists for).
+func TestLoopMapBalance(t *testing.T) {
+	for _, loops := range []int{2, 4, 8} {
+		m := NewLoopMap(loops)
+		counts := make([]int, loops)
+		const sessions = 1000
+		for s := 1; s <= sessions; s++ {
+			counts[m.Owner("u", proto.SessionID(s))]++
+		}
+		for l, c := range counts {
+			// A perfectly uniform split gives sessions/loops per loop;
+			// with 64 vnodes per loop, anything under a quarter of that
+			// indicates clustering.
+			if c < sessions/loops/4 {
+				t.Errorf("loops=%d: loop %d owns %d of %d sessions (clustered circle)", loops, l, c, sessions)
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestLaneReadYourWrites: a lane observes its own staged writes and
+// deletes immediately, before any group commit, and Keys merges the
+// overlay with the committed index.
+func TestLaneReadYourWrites(t *testing.T) {
+	w := openTestWAL(t, t.TempDir(), WALOptions{})
+	if err := w.Write("shared/committed", []byte("base")); err != nil {
+		t.Fatal(err)
+	}
+	lane := w.Lane()
+
+	var pending sync.WaitGroup
+	pending.Add(1)
+	lane.WriteAsync("shared/staged", []byte("mine"), func(err error) {
+		if err != nil {
+			t.Errorf("async write: %v", err)
+		}
+		pending.Done()
+	})
+	if v, ok := lane.Read("shared/staged"); !ok || string(v) != "mine" {
+		t.Fatalf("staged read = %q, %v; want read-your-writes before commit", v, ok)
+	}
+	if v, ok := lane.Read("shared/committed"); !ok || string(v) != "base" {
+		t.Fatalf("committed read through lane = %q, %v", v, ok)
+	}
+	keys := lane.Keys("shared/")
+	if len(keys) != 2 || keys[0] != "shared/committed" || keys[1] != "shared/staged" {
+		t.Fatalf("Keys = %v, want staged+committed merged sorted", keys)
+	}
+
+	// A staged delete shadows the committed value immediately.
+	if err := lane.Delete("shared/committed"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := lane.Read("shared/committed"); ok {
+		t.Fatal("staged tombstone did not shadow the committed value")
+	}
+	if keys := lane.Keys("shared/"); len(keys) != 1 || keys[0] != "shared/staged" {
+		t.Fatalf("Keys after staged delete = %v", keys)
+	}
+	pending.Wait()
+	// After the commit the engine itself must agree with the lane.
+	if err := lane.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := w.Read("shared/committed"); ok {
+		t.Fatal("delete did not commit engine-wide")
+	}
+	if v, ok := w.Read("shared/staged"); !ok || string(v) != "mine" {
+		t.Fatalf("engine read after commit = %q, %v", v, ok)
+	}
+}
+
+// TestLaneSyncBarrier: Sync on a lane returns only when everything the
+// lane staged is durable in the engine.
+func TestLaneSyncBarrier(t *testing.T) {
+	dir := t.TempDir()
+	w := openTestWAL(t, dir, WALOptions{})
+	lane := w.Lane()
+	for i := 0; i < 20; i++ {
+		lane.WriteAsync(fmt.Sprintf("k/%02d", i), []byte("v"), nil)
+	}
+	if err := lane.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh engine over the directory proves durability, not caching.
+	w2 := openTestWAL(t, dir, WALOptions{})
+	if got := len(w2.Keys("k/")); got != 20 {
+		t.Fatalf("recovered %d keys, want 20", got)
+	}
+}
+
+// TestLanesConcurrent: many lanes staging concurrently (the multi-loop
+// write pattern) must neither race nor lose writes — every lane's keys
+// recover after a reopen. Run under -race this is the lane-locking
+// regression test.
+func TestLanesConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	w := openTestWAL(t, dir, WALOptions{})
+	const lanes = 4
+	const perLane = 200
+	var wg sync.WaitGroup
+	for l := 0; l < lanes; l++ {
+		lane := w.Lane()
+		wg.Add(1)
+		go func(l int, lane Store) {
+			defer wg.Done()
+			for i := 0; i < perLane; i++ {
+				key := fmt.Sprintf("lane/%d/%03d", l, i)
+				if i%3 == 0 {
+					if err := lane.Write(key, []byte(key)); err != nil {
+						t.Errorf("lane %d write: %v", l, err)
+					}
+				} else {
+					lane.WriteAsync(key, []byte(key), nil)
+				}
+				if _, ok := lane.Read(key); !ok {
+					t.Errorf("lane %d lost read-your-writes on %s", l, key)
+				}
+			}
+			if err := lane.Sync(); err != nil {
+				t.Errorf("lane %d sync: %v", l, err)
+			}
+		}(l, lane)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := openTestWAL(t, dir, WALOptions{})
+	for l := 0; l < lanes; l++ {
+		if got := len(w2.Keys(fmt.Sprintf("lane/%d/", l))); got != perLane {
+			t.Errorf("lane %d recovered %d keys, want %d", l, got, perLane)
+		}
+	}
+}
+
+// TestLaneLastWriteWinsAcrossLanes: two lanes writing the same key
+// both commit; the engine ends with one of the two values (the batch
+// order decides), never a torn or missing record.
+func TestLaneLastWriteWinsAcrossLanes(t *testing.T) {
+	w := openTestWAL(t, t.TempDir(), WALOptions{})
+	a, b := w.Lane(), w.Lane()
+	if err := a.Write("k", []byte("from-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write("k", []byte("from-b")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := w.Read("k")
+	if !ok || (string(v) != "from-a" && string(v) != "from-b") {
+		t.Fatalf("engine read = %q, %v", v, ok)
+	}
+}
+
+// TestLaneFailsFastAfterEngineClose: a lane outliving its engine must
+// fail writes immediately instead of hanging a handler on a commit
+// that can never happen.
+func TestLaneFailsFastAfterEngineClose(t *testing.T) {
+	w := openTestWAL(t, t.TempDir(), WALOptions{})
+	lane := w.Lane()
+	if err := lane.Write("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lane.Write("k2", []byte("v")); err == nil {
+		t.Fatal("write on a lane of a closed engine succeeded")
+	}
+	done := make(chan error, 1)
+	lane.WriteAsync("k3", []byte("v"), func(err error) { done <- err })
+	if err := <-done; err == nil {
+		t.Fatal("async write on a lane of a closed engine completed without error")
+	}
+	// Lane on a closed engine: opening one must also fail fast.
+	dead := w.Lane()
+	if err := dead.Write("k4", []byte("v")); err == nil {
+		t.Fatal("lane opened after engine close accepted a write")
+	}
+}
+
+// TestLaneCloseFlushes: closing a lane flushes its staged writes but
+// leaves the engine usable.
+func TestLaneCloseFlushes(t *testing.T) {
+	w := openTestWAL(t, t.TempDir(), WALOptions{})
+	lane := w.Lane()
+	lane.WriteAsync("k", []byte("v"), nil)
+	if err := lane.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := w.Read("k"); !ok || string(v) != "v" {
+		t.Fatalf("engine read after lane close = %q, %v", v, ok)
+	}
+	if err := w.Write("k2", []byte("v2")); err != nil {
+		t.Fatalf("engine write after lane close: %v", err)
+	}
+}
