@@ -13,6 +13,11 @@
 #   make transport  print the pooled-vs-legacy transport table
 #   make store      print the durable-store (wal vs files) table
 #   make wire       run the codec micro-benchmark (binary vs gob)
+#   make sim        conformance + chaos smoke: 2 config cells x 2 fault
+#                   scenarios on real loopback clusters (rpcv-sim -quick)
+#   make sim-full   the full conformance matrix: every wire codec, store
+#                   engine, transport, scheduling policy and a multi-
+#                   loop coordinator, each under the full fault taxonomy
 #   make race       race-detect the whole tree
 #   make loops      race-detect the runtime + store lanes at 1 and 4
 #                   event loops (RPCV_LOOPS drives internal/rt's
@@ -25,7 +30,7 @@
 
 GO ?= go
 
-.PHONY: all vet lint build test bench smoke shard sched transport store wire race loops obs mon ci
+.PHONY: all vet lint build test bench smoke shard sched transport store wire sim sim-full race loops obs mon ci
 
 all: vet lint build test
 
@@ -77,4 +82,10 @@ store:
 wire:
 	$(GO) test -run '^$$' -bench BenchmarkCodec -benchmem .
 
-ci: vet lint build test race smoke
+sim:
+	$(GO) run ./cmd/rpcv-sim -quick
+
+sim-full:
+	$(GO) run ./cmd/rpcv-sim
+
+ci: vet lint build test race smoke sim

@@ -34,7 +34,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,10,11, ablation-*, shard-scale, sched-compare, transport-compare, log-store-compare, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4,5,6,7,8,9,10,11, ablation-*, shard-scale, sched-compare, transport-compare, log-store-compare, sim, or all")
 	quick := flag.Bool("quick", false, "reduced sweeps and populations")
 	seed := flag.Int64("seed", 2004, "random seed")
 	bundles := flag.String("bundles", "", "flight-bundle directory for the wall-clock compare experiments' fleet watcher (empty: no bundles)")
@@ -54,10 +54,11 @@ func main() {
 		"sched-compare":        experiments.SchedCompare,
 		"transport-compare":    experiments.TransportCompare,
 		"log-store-compare":    experiments.LogStoreCompare,
+		"sim":                  experiments.Sim,
 	}
 	order := []string{"4", "5", "6", "7", "8", "9", "10", "11",
 		"ablation-heartbeat", "ablation-replication", "ablation-recovery",
-		"shard-scale", "sched-compare", "transport-compare", "log-store-compare"}
+		"shard-scale", "sched-compare", "transport-compare", "log-store-compare", "sim"}
 
 	var selected []string
 	if *fig == "all" {
@@ -66,7 +67,7 @@ func main() {
 		for _, f := range strings.Split(*fig, ",") {
 			f = strings.TrimSpace(f)
 			if _, ok := runners[f]; !ok {
-				fmt.Fprintf(os.Stderr, "rpcv-bench: unknown figure %q (want 4..11, ablation-*, shard-scale, sched-compare, transport-compare, log-store-compare, or all)\n", f)
+				fmt.Fprintf(os.Stderr, "rpcv-bench: unknown figure %q (want 4..11, ablation-*, shard-scale, sched-compare, transport-compare, log-store-compare, sim, or all)\n", f)
 				os.Exit(2)
 			}
 			selected = append(selected, f)

@@ -132,6 +132,26 @@
 // errors from node.Disk/store calls. `make lint` runs all four and is
 // part of the default verify path and CI.
 //
+// internal/conform is the conformance + chaos matrix harness behind
+// cmd/rpcv-sim: it boots a real loopback cluster per cell of the
+// configuration matrix (wire codec x store engine x transport x
+// scheduling policy x event-loop count), drives one deterministic
+// workload through every cell, and injects the fault taxonomy from a
+// declarative scenario timeline — asymmetric one-way partitions (a
+// per-directed-link TCP proxy over netmodel.Rules), slow, failing and
+// torn disks mid-group-commit (store.FaultPlan wrapping any engine),
+// stalled-not-dead coordinators (frozen event loops behind a live TCP
+// listener), clock skew (rt.SetClockOffset behind node.Env.Now),
+// stale shard maps and crash/restart. Because the workload output is
+// a pure function of call identity, the expected result set is
+// computed analytically and every cell must land on the identical
+// (CallID -> result) digest — zero lost completed results under every
+// fault, on every configuration. Failed verdicts capture fleet flight
+// bundles and framed SimFault/SimVerdict artifacts. `make sim` is the
+// CI smoke (2 cells x 2 fault scenarios, race-enabled); `make
+// sim-full` runs the full matrix; the frozen regression scenarios
+// live in internal/conform's tests.
+//
 // See README.md for the package tour and the shard/sched subsystem
 // overviews. The benchmarks in bench_test.go regenerate each figure;
 // cmd/rpcv-bench prints them as tables.

@@ -1,0 +1,86 @@
+package conform
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"time"
+
+	"rpcv/internal/proto"
+)
+
+// The conformance workload is a pure function of the call identity:
+// every cell, on every scenario, must deliver exactly this output for
+// every (user, session, seq) — which is what lets the harness compute
+// the expected result set analytically and compare configurations by
+// digest instead of by reference run.
+
+// workParams derives the deterministic request payload for a call.
+func workParams(user proto.UserID, session proto.SessionID, seq proto.RPCSeq) []byte {
+	return []byte(fmt.Sprintf("conform/%s/%d/%d", user, session, seq))
+}
+
+// workOutput is what the "conform" service computes from its params.
+func workOutput(params []byte) []byte {
+	h := sha256.Sum256(params)
+	return h[:]
+}
+
+// resultLine renders one delivered result canonically.
+func resultLine(call proto.CallID, output []byte, errstr string) string {
+	return fmt.Sprintf("%s|%d|%d|%x|%s", call.User, call.Session, call.Seq, output, errstr)
+}
+
+// digestOf folds a set of canonical result lines into the cell digest:
+// sorted, newline-joined, sha256. Order of delivery never matters.
+func digestOf(lines []string) string {
+	sorted := append([]string(nil), lines...)
+	sort.Strings(sorted)
+	h := sha256.New()
+	for _, l := range sorted {
+		h.Write([]byte(l))
+		h.Write([]byte{'\n'})
+	}
+	return "sha256:" + hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// expectedSet computes the full analytic expectation for a scenario:
+// one line per call every client will issue.
+func expectedSet(sc *Scenario) map[proto.CallID]string {
+	perClient := sc.Calls / sc.Clients
+	want := make(map[proto.CallID]string, perClient*sc.Clients)
+	for i := 0; i < sc.Clients; i++ {
+		user := proto.UserID(fmt.Sprintf("u%d", i))
+		session := proto.SessionID(i + 1)
+		for s := 1; s <= perClient; s++ {
+			call := proto.CallID{User: user, Session: session, Seq: proto.RPCSeq(s)}
+			want[call] = resultLine(call, workOutput(workParams(user, session, call.Seq)), "")
+		}
+	}
+	return want
+}
+
+// expectedDigest is the digest every conforming cell must land on.
+func expectedDigest(sc *Scenario) string {
+	lines := make([]string, 0, sc.Calls)
+	for _, l := range expectedSet(sc) {
+		lines = append(lines, l)
+	}
+	return digestOf(lines)
+}
+
+// workGap picks the per-client submit pacing so the workload is still
+// in flight when the last fault lands, plus recovery headroom.
+func workGap(sc *Scenario) time.Duration {
+	if sc.Gap > 0 {
+		return sc.Gap
+	}
+	perClient := sc.Calls / sc.Clients
+	span := sc.LastEventAt() + 400*time.Millisecond
+	gap := span / time.Duration(perClient)
+	if gap < 10*time.Millisecond {
+		gap = 10 * time.Millisecond
+	}
+	return gap
+}

@@ -1,0 +1,582 @@
+package conform
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"rpcv/internal/client"
+	"rpcv/internal/coordinator"
+	"rpcv/internal/gridrpc"
+	"rpcv/internal/msglog"
+	"rpcv/internal/netmodel"
+	"rpcv/internal/obs"
+	"rpcv/internal/obs/fleet"
+	"rpcv/internal/proto"
+	"rpcv/internal/rt"
+	"rpcv/internal/server"
+	"rpcv/internal/shard"
+	"rpcv/internal/store"
+)
+
+// Harness timing: aggressive detector settings so scenario timelines
+// measured in hundreds of milliseconds exercise full suspicion and
+// recovery cycles.
+const (
+	beat    = 25 * time.Millisecond
+	suspect = 250 * time.Millisecond
+)
+
+// nodeSlot owns one grid node's runtime across crash/restart cycles.
+type nodeSlot struct {
+	mu    sync.Mutex
+	rtm   *rt.Runtime
+	start func() (*rt.Runtime, error)
+}
+
+func (s *nodeSlot) get() *rt.Runtime {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rtm
+}
+
+// runCell boots one real loopback cluster configured as cell, drives
+// the scenario's deterministic workload through the fault timeline,
+// and grades the delivered result set against the analytic
+// expectation.
+func runCell(suiteName string, cell Cell, sc *Scenario, opts Options) CellVerdict {
+	v := CellVerdict{Cell: cell.Label(), Scenario: sc.Name, Verdict: "pass"}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	start := time.Now()
+
+	// Every inter-node byte crosses a per-directed-link TCP proxy so
+	// the timeline can sever and black-hole each direction
+	// independently. Proxy addresses are stable across node restarts.
+	rules := netmodel.NewRules()
+	faults := gridrpc.NewLinkFaults(rules, logf)
+	defer faults.Close()
+
+	nCoords, nServers, nClients := sc.Coords, sc.Servers, sc.Clients
+	var all []proto.NodeID
+	for i := 0; i < nCoords; i++ {
+		all = append(all, proto.NodeID(fmt.Sprintf("co%d", i)))
+	}
+	for i := 0; i < nServers; i++ {
+		all = append(all, proto.NodeID(fmt.Sprintf("sv%d", i)))
+	}
+	for i := 0; i < nClients; i++ {
+		all = append(all, proto.NodeID(fmt.Sprintf("cli%d", i)))
+	}
+	dirFor := func(self proto.NodeID) (rt.Directory, error) {
+		d := rt.Directory{}
+		for _, id := range all {
+			if id == self {
+				continue
+			}
+			addr, err := faults.Addr(self, id)
+			if err != nil {
+				return nil, err
+			}
+			d[id] = addr
+		}
+		return d, nil
+	}
+	fail := func(format string, args ...any) CellVerdict {
+		v.Verdict = "error"
+		v.Detail = fmt.Sprintf(format, args...)
+		v.Elapsed = time.Since(start)
+		return v
+	}
+
+	// Shard topology: one single-coordinator ring per shard, extra
+	// coordinators joining rings round-robin. Unsharded: one ring.
+	rings := make([][]proto.NodeID, 1)
+	if sc.Shards > 1 {
+		rings = make([][]proto.NodeID, sc.Shards)
+	}
+	for i := 0; i < nCoords; i++ {
+		r := i % len(rings)
+		rings[r] = append(rings[r], proto.NodeID(fmt.Sprintf("co%d", i)))
+	}
+	var truth, stale *shard.Map
+	if sc.Shards > 1 {
+		truth = shard.New(2, rings, 0)
+		// The stale map clients may be pinned to: an older version with
+		// the ring assignment rotated, so session hashes point at the
+		// wrong shard until a ShardRedirect repairs the cache.
+		rotated := make([][]proto.NodeID, len(rings))
+		for i := range rings {
+			rotated[i] = rings[(i+1)%len(rings)]
+		}
+		stale = shard.New(1, rotated, 0)
+	}
+	ringOf := func(i int) []proto.NodeID { return rings[i%len(rings)] }
+
+	// Observability plane: only assembled when a post-mortem artifact
+	// directory is wanted — the flight recorder needs live scrape
+	// sources and span rings to capture anything useful.
+	var reg *obs.Registry
+	var obsMu sync.Mutex
+	observers := map[proto.NodeID][]*obs.Observer{}
+	observer := func(id proto.NodeID) *obs.Observer {
+		if reg == nil {
+			return nil
+		}
+		ob := obs.NewWith(id, reg)
+		obsMu.Lock()
+		observers[id] = append(observers[id], ob)
+		obsMu.Unlock()
+		return ob
+	}
+	if opts.ArtifactDir != "" {
+		reg = obs.NewRegistry()
+	}
+
+	codec := proto.CodecForWire(cell.Wire)
+	slots := map[string]*nodeSlot{}
+	plans := map[string]*store.FaultPlan{}
+	var slotsMu sync.Mutex
+	boot := func(name string, slot *nodeSlot) error {
+		rtm, err := slot.start()
+		if err != nil {
+			return err
+		}
+		slot.mu.Lock()
+		slot.rtm = rtm
+		slot.mu.Unlock()
+		faults.SetTarget(proto.NodeID(name), rtm.Addr())
+		slotsMu.Lock()
+		slots[name] = slot
+		slotsMu.Unlock()
+		return nil
+	}
+	defer func() {
+		slotsMu.Lock()
+		defer slotsMu.Unlock()
+		for _, slot := range slots {
+			if rtm := slot.get(); rtm != nil {
+				rtm.Close()
+			}
+		}
+	}()
+
+	// Coordinators: the cell's store engine under a fault-injection
+	// wrapper (interposed after the engine's own dir-refusal checks),
+	// the cell's codec, transport, policy and loop count.
+	diskRoot, err := os.MkdirTemp("", "rpcv-sim-*")
+	if err != nil {
+		return fail("mkdir: %v", err)
+	}
+	defer os.RemoveAll(diskRoot)
+	for i := 0; i < nCoords; i++ {
+		i := i
+		name := fmt.Sprintf("co%d", i)
+		id := proto.NodeID(name)
+		plan := &store.FaultPlan{}
+		plans[name] = plan
+		dir, err := dirFor(id)
+		if err != nil {
+			return fail("directory %s: %v", name, err)
+		}
+		diskDir := ""
+		if cell.Store != "memory" {
+			diskDir = filepath.Join(diskRoot, name)
+		}
+		slot := &nodeSlot{}
+		slot.start = func() (*rt.Runtime, error) {
+			co := coordinator.New(coordinator.Config{
+				Coordinators:      ringOf(i),
+				HeartbeatPeriod:   beat,
+				HeartbeatTimeout:  suspect,
+				ReplicationPeriod: 150 * time.Millisecond,
+				Codec:             codec,
+				Policy:            cell.Policy,
+				Shard:             truth,
+				Obs:               observer(id),
+			})
+			return rt.Start(rt.Config{
+				ID: id, ListenAddr: "127.0.0.1:0", Handler: co,
+				Directory: dir, DiskDir: diskDir, Store: cell.Store,
+				Loops: cell.Loops, Seed: opts.Seed + int64(i),
+				LegacyTransport: cell.Transport == "legacy", Wire: cell.Wire,
+				Logf:      logf,
+				WrapStore: func(s store.Store) store.Store { return store.WithFaults(s, plan) },
+			})
+		}
+		if err := boot(name, slot); err != nil {
+			return fail("boot %s: %v", name, err)
+		}
+	}
+
+	// Servers: in-memory state (the paper's servers are stateless
+	// executors), attached round-robin to the rings.
+	services := map[string]server.Service{
+		"conform": func(p []byte) ([]byte, error) { return workOutput(p), nil },
+	}
+	for i := 0; i < nServers; i++ {
+		i := i
+		name := fmt.Sprintf("sv%d", i)
+		id := proto.NodeID(name)
+		dir, err := dirFor(id)
+		if err != nil {
+			return fail("directory %s: %v", name, err)
+		}
+		slot := &nodeSlot{}
+		slot.start = func() (*rt.Runtime, error) {
+			sv := server.New(server.Config{
+				Coordinators:     ringOf(i),
+				HeartbeatPeriod:  beat,
+				SuspicionTimeout: suspect,
+				Services:         services,
+				Codec:            codec,
+			})
+			return rt.Start(rt.Config{
+				ID: id, ListenAddr: "127.0.0.1:0", Handler: sv,
+				Directory: dir, Seed: opts.Seed + 100 + int64(i),
+				LegacyTransport: cell.Transport == "legacy", Wire: cell.Wire,
+				Logf: logf, Obs: observer(id),
+			})
+		}
+		if err := boot(name, slot); err != nil {
+			return fail("boot %s: %v", name, err)
+		}
+	}
+
+	// Clients: the workload drivers. Each collects every first-seen
+	// result; the run is done when the union matches the expectation
+	// or the scenario watchdog fires.
+	want := expectedSet(sc)
+	perClient := sc.Calls / sc.Clients
+	target := perClient * nClients
+	var (
+		resMu     sync.Mutex
+		delivered = map[proto.CallID]string{}
+		done      = make(chan struct{})
+		once      sync.Once
+	)
+	record := func(res proto.Result, _ time.Time) {
+		resMu.Lock()
+		if _, ok := delivered[res.Call]; !ok {
+			delivered[res.Call] = resultLine(res.Call, res.Output, res.Err)
+		}
+		n := len(delivered)
+		resMu.Unlock()
+		if n >= target {
+			once.Do(func() { close(done) })
+		}
+	}
+	clis := make([]*client.Client, nClients)
+	for i := 0; i < nClients; i++ {
+		i := i
+		name := fmt.Sprintf("cli%d", i)
+		id := proto.NodeID(name)
+		dir, err := dirFor(id)
+		if err != nil {
+			return fail("directory %s: %v", name, err)
+		}
+		cliShard := truth
+		if sc.StaleClients {
+			cliShard = stale
+		}
+		cli := client.New(client.Config{
+			User:             proto.UserID(fmt.Sprintf("u%d", i)),
+			Session:          proto.SessionID(i + 1),
+			Coordinators:     rings[0],
+			PollPeriod:       beat,
+			SuspicionTimeout: suspect,
+			Logging:          msglog.NonBlockingPessimistic,
+			Disk:             msglog.InstantDisk(),
+			Codec:            codec,
+			Shard:            cliShard,
+			OnResult:         record,
+			Obs:              observer(id),
+		})
+		clis[i] = cli
+		slot := &nodeSlot{}
+		slot.start = func() (*rt.Runtime, error) {
+			return rt.Start(rt.Config{
+				ID: id, ListenAddr: "127.0.0.1:0", Handler: cli,
+				Directory: dir, Seed: opts.Seed + 200 + int64(i),
+				LegacyTransport: cell.Transport == "legacy", Wire: cell.Wire,
+				Logf: logf,
+			})
+		}
+		if err := boot(name, slot); err != nil {
+			return fail("boot %s: %v", name, err)
+		}
+	}
+
+	// Fleet watcher: the same in-process scrape sources rpcv-mon uses,
+	// feeding the flight recorder that captures the post-mortem bundle
+	// on a failed verdict.
+	var mon *fleet.Monitor
+	if reg != nil {
+		var sources []fleet.Source
+		for _, id := range fleet.RegistryNodes(reg) {
+			id := id
+			sources = append(sources, &fleet.FuncSource{
+				Node: id,
+				Fetch: func() ([]fleet.Sample, error) {
+					slotsMu.Lock()
+					slot := slots[string(id)]
+					slotsMu.Unlock()
+					if slot != nil && slot.get() == nil {
+						return nil, fmt.Errorf("node %s is down", id)
+					}
+					return fleet.SamplesFromRegistry(reg, id), nil
+				},
+				Trace: func() []obs.Span {
+					obsMu.Lock()
+					list := append([]*obs.Observer(nil), observers[id]...)
+					obsMu.Unlock()
+					var out []obs.Span
+					for _, ob := range list {
+						out = append(out, ob.Tracer().Dump()...)
+					}
+					return out
+				},
+			})
+		}
+		mon = fleet.New(fleet.Config{
+			Sources:   sources,
+			Interval:  50 * time.Millisecond,
+			DownAfter: 2,
+			BundleDir: opts.ArtifactDir,
+		})
+		mon.Start()
+	}
+
+	// The fault timeline, on its own clock from workload start.
+	var frames []byte
+	var frameMu sync.Mutex
+	noteFault := func(ev Event, detail string) {
+		v.Faults++
+		sf := &proto.SimFault{
+			Suite: suiteName, Scenario: sc.Name, Cell: cell.Label(),
+			Fault: ev.Kind, Node: proto.NodeID(ev.Node), Peer: proto.NodeID(ev.Peer),
+			At: ev.At, Detail: detail,
+		}
+		logf("sim: %s/%s: at %v %s %s", sc.Name, cell.Label(), ev.At, ev.Kind, detail)
+		frameMu.Lock()
+		frames, _ = proto.AppendFrame(frames, "rpcv-sim", sf)
+		frameMu.Unlock()
+	}
+	stopTimeline := make(chan struct{})
+	var timelineWG sync.WaitGroup
+	t0 := time.Now()
+	timelineWG.Add(1)
+	go func() {
+		defer timelineWG.Done()
+		for _, ev := range sc.Events {
+			select {
+			case <-stopTimeline:
+				return
+			case <-time.After(time.Until(t0.Add(ev.At))):
+			}
+			applyEvent(ev, rules, faults, slots, plans, noteFault)
+		}
+	}()
+
+	// The workload: each client issues its share on a fixed cadence
+	// chosen so submissions are still in flight when every fault
+	// lands. Submissions carry a soft deadline so the deadline policy
+	// cell exercises earliest-deadline-first ordering.
+	gap := workGap(sc)
+	var driverWG sync.WaitGroup
+	stopDrivers := make(chan struct{})
+	for i := 0; i < nClients; i++ {
+		i := i
+		cli := clis[i]
+		user := proto.UserID(fmt.Sprintf("u%d", i))
+		session := proto.SessionID(i + 1)
+		slot := slots[fmt.Sprintf("cli%d", i)]
+		driverWG.Add(1)
+		go func() {
+			defer driverWG.Done()
+			for s := 0; s < perClient; s++ {
+				select {
+				case <-stopDrivers:
+					return
+				default:
+				}
+				if rtm := slot.get(); rtm != nil {
+					params := workParams(user, session, proto.RPCSeq(s+1))
+					rtm.Do(func() {
+						cli.SubmitWithDeadline("conform", params, 0, 0, 2*time.Second)
+					})
+				}
+				select {
+				case <-stopDrivers:
+					return
+				case <-time.After(gap):
+				}
+			}
+		}()
+	}
+
+	select {
+	case <-done:
+	case <-time.After(sc.Timeout):
+	}
+	close(stopDrivers)
+	close(stopTimeline)
+	driverWG.Wait()
+	timelineWG.Wait()
+
+	// Grade: exactly the expected (CallID -> result) set, nothing
+	// lost, nothing diverged.
+	resMu.Lock()
+	got := make(map[proto.CallID]string, len(delivered))
+	for k, l := range delivered {
+		got[k] = l
+	}
+	resMu.Unlock()
+	lines := make([]string, 0, len(got))
+	for _, l := range got {
+		lines = append(lines, l)
+	}
+	v.Delivered, v.Expected = len(got), target
+	v.Digest = digestOf(lines)
+	v.Elapsed = time.Since(start)
+	missing := 0
+	for call, wl := range want {
+		gl, ok := got[call]
+		if !ok {
+			missing++
+			continue
+		}
+		if gl != wl {
+			v.Verdict = "divergent"
+			v.Detail = fmt.Sprintf("call %s/%d/%d delivered a diverging result", call.User, call.Session, call.Seq)
+		}
+	}
+	if v.Verdict == "pass" {
+		for call := range got {
+			if _, ok := want[call]; !ok {
+				v.Verdict = "divergent"
+				v.Detail = fmt.Sprintf("unexpected call %s/%d/%d delivered", call.User, call.Session, call.Seq)
+				break
+			}
+		}
+	}
+	if v.Verdict == "pass" && missing > 0 {
+		v.Verdict = "lost-results"
+		v.Detail = fmt.Sprintf("%d of %d results never delivered", missing, target)
+	}
+	if v.Verdict == "pass" && v.Digest != expectedDigest(sc) {
+		v.Verdict = "divergent"
+		v.Detail = "digest mismatch against analytic expectation"
+	}
+
+	// Post-mortem: on any failed verdict with an artifact directory,
+	// freeze the fleet's state the way rpcv-mon's flight recorder
+	// would, and always persist the framed fault/verdict artifact.
+	if mon != nil {
+		mon.Close()
+		if v.Verdict != "pass" {
+			if path, err := mon.CaptureBundle("sim " + sc.Name + ": " + v.Verdict); err == nil {
+				v.Bundle = path
+			}
+		}
+	}
+	if opts.ArtifactDir != "" {
+		sv := &proto.SimVerdict{
+			Suite: suiteName, Scenario: sc.Name, Cell: cell.Label(),
+			Verdict: v.Verdict, Digest: v.Digest,
+			Delivered: v.Delivered, Expected: v.Expected,
+			Faults: v.Faults, Elapsed: v.Elapsed,
+		}
+		frameMu.Lock()
+		frames, _ = proto.AppendFrame(frames, "rpcv-sim", sv)
+		data := frames
+		frameMu.Unlock()
+		name := fmt.Sprintf("sim_%s_%s.frames", sc.Name, sanitizeLabel(cell.Label()))
+		if err := os.WriteFile(filepath.Join(opts.ArtifactDir, name), data, 0o644); err != nil {
+			logf("sim: artifact write failed: %v", err)
+		}
+	}
+	return v
+}
+
+// applyEvent injects one timeline fault into the running grid.
+func applyEvent(ev Event, rules *netmodel.Rules, faults *gridrpc.LinkFaults,
+	slots map[string]*nodeSlot, plans map[string]*store.FaultPlan,
+	note func(Event, string)) {
+	switch ev.Kind {
+	case "block":
+		rules.BlockLink(proto.NodeID(ev.Node), proto.NodeID(ev.Peer))
+		note(ev, fmt.Sprintf("partition %s -> %s", ev.Node, ev.Peer))
+	case "heal":
+		rules.HealLink(proto.NodeID(ev.Node), proto.NodeID(ev.Peer))
+		note(ev, fmt.Sprintf("heal %s -> %s", ev.Node, ev.Peer))
+	case "crash":
+		slot := slots[ev.Node]
+		slot.mu.Lock()
+		if slot.rtm != nil {
+			slot.rtm.Close()
+			slot.rtm = nil
+		}
+		slot.mu.Unlock()
+		note(ev, "crash "+ev.Node)
+	case "restart":
+		slot := slots[ev.Node]
+		if plan := plans[ev.Node]; plan != nil {
+			plan.Heal() // a replaced disk comes back healthy
+		}
+		rtm, err := slot.start()
+		if err != nil {
+			note(ev, fmt.Sprintf("restart %s FAILED: %v", ev.Node, err))
+			return
+		}
+		slot.mu.Lock()
+		slot.rtm = rtm
+		slot.mu.Unlock()
+		faults.SetTarget(proto.NodeID(ev.Node), rtm.Addr())
+		note(ev, "restart "+ev.Node)
+	case "disk":
+		plan := plans[ev.Node]
+		if plan == nil {
+			note(ev, "disk fault on storeless node "+ev.Node+" ignored")
+			return
+		}
+		switch ev.Op {
+		case "fail":
+			plan.FailCommits(ev.N)
+			note(ev, fmt.Sprintf("disk %s: fail commit #%d then stay broken", ev.Node, ev.N))
+		case "stall":
+			plan.StallCommits(ev.Dur)
+			note(ev, fmt.Sprintf("disk %s: stall every commit %v", ev.Node, ev.Dur))
+		case "torn":
+			plan.TornWrites(ev.N)
+			note(ev, fmt.Sprintf("disk %s: tear write #%d", ev.Node, ev.N))
+		case "heal":
+			plan.Heal()
+			note(ev, "disk "+ev.Node+": healed")
+		}
+	case "stall":
+		if rtm := slots[ev.Node].get(); rtm != nil {
+			rtm.StallLoops(ev.Dur)
+			note(ev, fmt.Sprintf("stall %s event loops %v (TCP stays up)", ev.Node, ev.Dur))
+		} else {
+			note(ev, "stall "+ev.Node+" skipped: node is down")
+		}
+	case "skew":
+		if rtm := slots[ev.Node].get(); rtm != nil {
+			rtm.SetClockOffset(ev.Dur)
+			note(ev, fmt.Sprintf("skew %s clock by %v", ev.Node, ev.Dur))
+		} else {
+			note(ev, "skew "+ev.Node+" skipped: node is down")
+		}
+	}
+}
+
+// sanitizeLabel turns a cell label into a filename fragment.
+func sanitizeLabel(label string) string {
+	return strings.NewReplacer("=", "-", " ", "_").Replace(label)
+}

@@ -49,10 +49,10 @@ type Net struct {
 	links        map[proto.NodeID]*linkState
 	rng          *rand.Rand
 
-	// blocked holds ordered pairs (from,to) whose messages are dropped.
-	blocked map[pair]bool
-	// groups: when non-nil, nodes in different groups cannot talk.
-	group map[proto.NodeID]int
+	// rules holds the directed block rules and group partition. It is
+	// shared — the same Rules can drive a real-TCP gridrpc.LinkFaults
+	// proxy so simulated and live grids see identical fault schedules.
+	rules *Rules
 }
 
 type pair struct{ from, to proto.NodeID }
@@ -73,9 +73,13 @@ func New(def LinkClass, seed int64) *Net {
 		classes:      make(map[proto.NodeID]LinkClass),
 		links:        make(map[proto.NodeID]*linkState),
 		rng:          rand.New(rand.NewSource(seed)),
-		blocked:      make(map[pair]bool),
+		rules:        NewRules(),
 	}
 }
+
+// Rules exposes the fault-rule set so the same directed blocks and
+// partitions can be shared with a real-TCP grid (gridrpc.LinkFaults).
+func (n *Net) Rules() *Rules { return n.rules }
 
 // SetClass overrides the link class of one node (e.g. a well-provisioned
 // dedicated coordinator among desktop workers).
@@ -92,41 +96,34 @@ func (n *Net) Class(id proto.NodeID) LinkClass {
 // Block drops all messages from -> to (one-way), until Unblock. This
 // implements the paper's "hide the existence of the Lille coordinator to
 // the servers" style of forced inconsistent views.
-func (n *Net) Block(from, to proto.NodeID) { n.blocked[pair{from, to}] = true }
+func (n *Net) Block(from, to proto.NodeID) { n.rules.BlockLink(from, to) }
+
+// BlockLink is Block under the fault-plane's canonical name.
+func (n *Net) BlockLink(from, to proto.NodeID) { n.rules.BlockLink(from, to) }
 
 // Unblock re-enables the link.
-func (n *Net) Unblock(from, to proto.NodeID) { delete(n.blocked, pair{from, to}) }
+func (n *Net) Unblock(from, to proto.NodeID) { n.rules.HealLink(from, to) }
+
+// HealLink is Unblock under the fault-plane's canonical name.
+func (n *Net) HealLink(from, to proto.NodeID) { n.rules.HealLink(from, to) }
 
 // BlockBoth drops messages in both directions between a and b.
-func (n *Net) BlockBoth(a, b proto.NodeID) {
-	n.Block(a, b)
-	n.Block(b, a)
-}
+func (n *Net) BlockBoth(a, b proto.NodeID) { n.rules.BlockBoth(a, b) }
 
 // UnblockBoth re-enables both directions.
-func (n *Net) UnblockBoth(a, b proto.NodeID) {
-	n.Unblock(a, b)
-	n.Unblock(b, a)
-}
+func (n *Net) UnblockBoth(a, b proto.NodeID) { n.rules.HealBoth(a, b) }
 
 // Partition assigns nodes to groups; nodes in different groups cannot
 // communicate. Call with nil to clear. Nodes absent from the map are in
 // group 0.
-func (n *Net) Partition(group map[proto.NodeID]int) { n.group = group }
-
-func (n *Net) groupOf(id proto.NodeID) int {
-	if n.group == nil {
-		return 0
-	}
-	return n.group[id]
-}
+func (n *Net) Partition(group map[proto.NodeID]int) { n.rules.Partition(group) }
 
 // Transfer implements sim.Network.
 func (n *Net) Transfer(from, to proto.NodeID, size int, now time.Time) (time.Time, bool) {
 	if from == to {
 		return now, true // loopback: free
 	}
-	if n.blocked[pair{from, to}] || n.groupOf(from) != n.groupOf(to) {
+	if n.rules.Blocked(from, to) {
 		return time.Time{}, false
 	}
 	cf, ct := n.Class(from), n.Class(to)

@@ -1,0 +1,157 @@
+package netmodel
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"rpcv/internal/proto"
+)
+
+func TestRulesOneWayPartition(t *testing.T) {
+	r := NewRules()
+	a, b := proto.NodeID("a"), proto.NodeID("b")
+
+	if r.Blocked(a, b) || r.Blocked(b, a) {
+		t.Fatal("fresh rules should block nothing")
+	}
+	r.BlockLink(a, b)
+	if !r.Blocked(a, b) {
+		t.Fatal("a->b should be blocked")
+	}
+	if r.Blocked(b, a) {
+		t.Fatal("one-way block must not affect b->a")
+	}
+}
+
+func TestRulesHealLink(t *testing.T) {
+	r := NewRules()
+	a, b := proto.NodeID("a"), proto.NodeID("b")
+
+	r.BlockLink(a, b)
+	v := r.Version()
+	r.HealLink(a, b)
+	if r.Blocked(a, b) {
+		t.Fatal("healed link should pass traffic")
+	}
+	if r.Version() == v {
+		t.Fatal("heal must bump the version so proxies notice")
+	}
+	// Healing an unblocked link is a no-op, not an error.
+	r.HealLink(b, a)
+	if r.Blocked(b, a) {
+		t.Fatal("b->a was never blocked")
+	}
+}
+
+func TestRulesBlockBothAndHealBoth(t *testing.T) {
+	r := NewRules()
+	a, b := proto.NodeID("a"), proto.NodeID("b")
+
+	r.BlockBoth(a, b)
+	if !r.Blocked(a, b) || !r.Blocked(b, a) {
+		t.Fatal("BlockBoth must cut both directions")
+	}
+	r.HealBoth(a, b)
+	if r.Blocked(a, b) || r.Blocked(b, a) {
+		t.Fatal("HealBoth must restore both directions")
+	}
+}
+
+// A directed block must survive overlapping with (and outlive) a group
+// partition: blocks and partitions are independent rule layers.
+func TestRulesDirectedBlockOverlapsGroupPartition(t *testing.T) {
+	r := NewRules()
+	a, b, c := proto.NodeID("a"), proto.NodeID("b"), proto.NodeID("c")
+
+	r.BlockLink(a, b)
+	r.Partition(map[proto.NodeID]int{a: 0, b: 1, c: 1})
+
+	if !r.Blocked(a, b) {
+		t.Fatal("a->b cut by both the block and the partition")
+	}
+	if !r.Blocked(a, c) {
+		t.Fatal("a->c cut by the partition")
+	}
+	if r.Blocked(b, c) {
+		t.Fatal("b and c share a group")
+	}
+
+	// Clearing the partition must not heal the directed block.
+	r.Partition(nil)
+	if !r.Blocked(a, b) {
+		t.Fatal("directed block must survive partition clear")
+	}
+	if r.Blocked(a, c) {
+		t.Fatal("a->c had no directed block")
+	}
+	r.HealLink(a, b)
+	if r.Blocked(a, b) {
+		t.Fatal("everything healed")
+	}
+}
+
+func TestRulesPartitionCopiesMap(t *testing.T) {
+	r := NewRules()
+	a, b := proto.NodeID("a"), proto.NodeID("b")
+	m := map[proto.NodeID]int{a: 0, b: 1}
+	r.Partition(m)
+	m[b] = 0 // caller mutates its map after handing it over
+	if !r.Blocked(a, b) {
+		t.Fatal("Partition must copy the group map")
+	}
+}
+
+func TestRulesConcurrentAccess(t *testing.T) {
+	r := NewRules()
+	nodes := []proto.NodeID{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			from, to := nodes[i%4], nodes[(i+1)%4]
+			for j := 0; j < 200; j++ {
+				r.BlockLink(from, to)
+				_ = r.Blocked(from, to)
+				r.HealLink(from, to)
+				r.Partition(map[proto.NodeID]int{from: 1})
+				r.Partition(nil)
+				_ = r.Version()
+			}
+		}(i)
+	}
+	wg.Wait()
+	r.Clear()
+	for _, f := range nodes {
+		for _, to := range nodes {
+			if r.Blocked(f, to) {
+				t.Fatalf("Clear left %s->%s blocked", f, to)
+			}
+		}
+	}
+}
+
+// The sim-side Net must expose the same rule set: a one-way block set
+// through Net.BlockLink drops a->b transfers while b->a still delivers,
+// and the shared Rules handle observes the same state.
+func TestNetBlockLinkIsOneWay(t *testing.T) {
+	n := Confined(1)
+	a, b := proto.NodeID("a"), proto.NodeID("b")
+	now := time.Unix(0, 0)
+
+	n.BlockLink(a, b)
+	if _, ok := n.Transfer(a, b, 100, now); ok {
+		t.Fatal("a->b transfer should be dropped")
+	}
+	if _, ok := n.Transfer(b, a, 100, now); !ok {
+		t.Fatal("b->a transfer should deliver")
+	}
+	if !n.Rules().Blocked(a, b) {
+		t.Fatal("Net.Rules() must expose the same rule set")
+	}
+	n.Rules().HealLink(a, b)
+	if _, ok := n.Transfer(a, b, 100, now); !ok {
+		t.Fatal("heal through the shared Rules must reach the Net")
+	}
+}

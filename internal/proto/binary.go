@@ -77,6 +77,8 @@ const (
 	kindStealRequest
 	kindStealGrant
 	kindJobRecord // storage blobs only; JobRecord is not a Message
+	kindSimFault
+	kindSimVerdict
 )
 
 // kindOf maps a message to its wire kind byte (0 when unregistered).
@@ -130,6 +132,10 @@ func kindOf(msg Message) uint8 {
 		return kindStealRequest
 	case *StealGrant:
 		return kindStealGrant
+	case *SimFault:
+		return kindSimFault
+	case *SimVerdict:
+		return kindSimVerdict
 	default:
 		return kindInvalid
 	}
@@ -648,6 +654,25 @@ func appendMessageBody(dst []byte, msg Message) []byte {
 		dst = binary.AppendUvarint(dst, m.Epoch)
 		dst = binary.AppendUvarint(dst, m.Round)
 		return appendSlice(dst, m.Jobs, appendJob)
+	case *SimFault:
+		dst = appendString(dst, m.Suite)
+		dst = appendString(dst, m.Scenario)
+		dst = appendString(dst, m.Cell)
+		dst = appendString(dst, m.Fault)
+		dst = appendNode(dst, m.Node)
+		dst = appendNode(dst, m.Peer)
+		dst = appendDur(dst, m.At)
+		return appendString(dst, m.Detail)
+	case *SimVerdict:
+		dst = appendString(dst, m.Suite)
+		dst = appendString(dst, m.Scenario)
+		dst = appendString(dst, m.Cell)
+		dst = appendString(dst, m.Verdict)
+		dst = appendString(dst, m.Digest)
+		dst = binary.AppendVarint(dst, int64(m.Delivered))
+		dst = binary.AppendVarint(dst, int64(m.Expected))
+		dst = binary.AppendVarint(dst, int64(m.Faults))
+		return appendDur(dst, m.Elapsed)
 	default:
 		panic("proto: appendMessageBody: unregistered message type " + msg.Kind())
 	}
@@ -726,6 +751,14 @@ func readMessageBody(r *binReader, kind uint8) Message {
 		return &StealGrant{From: r.node(), Shard: int(r.varint()),
 			Epoch: r.uvarint(), Round: r.uvarint(),
 			Jobs: readSlice(r, readJobBody)}
+	case kindSimFault:
+		return &SimFault{Suite: r.str(), Scenario: r.str(), Cell: r.str(),
+			Fault: r.str(), Node: r.node(), Peer: r.node(),
+			At: r.dur(), Detail: r.str()}
+	case kindSimVerdict:
+		return &SimVerdict{Suite: r.str(), Scenario: r.str(), Cell: r.str(),
+			Verdict: r.str(), Digest: r.str(), Delivered: int(r.varint()),
+			Expected: int(r.varint()), Faults: int(r.varint()), Elapsed: r.dur()}
 	default:
 		r.fail()
 		return nil

@@ -120,6 +120,7 @@ func TestKindBytesStable(t *testing.T) {
 		"replica-update": 16, "replica-ack": 17, "shard-map-request": 18,
 		"shard-map-reply": 19, "shard-redirect": 20, "shard-sync": 21,
 		"shard-sync-ack": 22, "steal-request": 23, "steal-grant": 24,
+		"sim-fault": 26, "sim-verdict": 27,
 	}
 	for _, msg := range allMessages() {
 		if got := kindOf(msg); got != want[msg.Kind()] {

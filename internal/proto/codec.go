@@ -54,6 +54,8 @@ func init() {
 	gob.Register(&ShardSyncAck{})
 	gob.Register(&StealRequest{})
 	gob.Register(&StealGrant{})
+	gob.Register(&SimFault{})
+	gob.Register(&SimVerdict{})
 }
 
 // Wire codec names, shared by the -wire flags, rt.Config.Wire and

@@ -46,6 +46,12 @@ func allMessages() []Message {
 		&StealGrant{From: "coord-00", Shard: 0, Epoch: 2, Round: 3, Jobs: []JobRecord{
 			{Call: call, Service: "svc", Params: []byte{8}, ExecTime: time.Second, Deadline: deadline, State: TaskOngoing, Instance: 2},
 		}},
+		&SimFault{Suite: "default", Scenario: "oneway", Cell: "wire=binary store=wal",
+			Fault: "partition", Node: "coord-00", Peer: "server-000",
+			At: 2 * time.Second, Detail: "block co-0 -> sv-0"},
+		&SimVerdict{Suite: "default", Scenario: "oneway", Cell: "wire=binary store=wal",
+			Verdict: "pass", Digest: "sha256:00ff", Delivered: 40, Expected: 40,
+			Faults: 2, Elapsed: 3 * time.Second},
 	}
 }
 
@@ -88,7 +94,7 @@ func TestGobRoundTripCoversEveryMessageType(t *testing.T) {
 		seen[typ] = true
 	}
 	// One sample per concrete Message implementation in this package.
-	const wantTypes = 24
+	const wantTypes = 26
 	if len(seen) != wantTypes {
 		t.Fatalf("allMessages covers %d types, want %d — update the sample list when adding messages", len(seen), wantTypes)
 	}

@@ -139,6 +139,14 @@ type Config struct {
 	// active peers outnumber the cap for long, lost heartbeats turn
 	// into false fault suspicions. Default 256.
 	MaxInboundConns int
+	// WrapStore, when non-nil, interposes on the store after the engine
+	// opens it (so engine directory-refusal checks have already run)
+	// and before any loop sees it. The chaos harness uses it to inject
+	// disk faults (store.WithFaults); the wrapper must preserve the
+	// Store contract. Note: a wrapper hides optional interfaces
+	// (store.Laner, WALStats), so multi-loop store lanes degrade to
+	// the shared path under a wrapped store.
+	WrapStore func(store.Store) store.Store
 }
 
 // envelope frames one message on the wire.
@@ -165,8 +173,9 @@ type Runtime struct {
 	sendMu  sync.Mutex
 	senders map[proto.NodeID]*sender
 
-	inbound atomic.Int64
-	stats   transportCounters
+	inbound  atomic.Int64
+	stats    transportCounters
+	clockOff atomic.Int64 // injected clock skew, ns (SetClockOffset)
 
 	// obsBatch and obsWrite are nil-safe obs instruments (nil when
 	// Config.Obs is): flushed-batch sizes and write-to-durable latency.
@@ -269,6 +278,9 @@ func Start(cfg Config) (*Runtime, error) {
 		r.store = st
 	} else {
 		r.store = store.NewMemory()
+	}
+	if cfg.WrapStore != nil {
+		r.store = cfg.WrapStore(r.store)
 	}
 
 	// Build the loops: per-loop RNG stream, store lane (when the
@@ -454,6 +466,41 @@ func (r *Runtime) DoAsyncOn(i int, fn func()) {
 	case <-r.quit:
 	}
 }
+
+// SetClockOffset skews this node's notion of "now": every env.Now()
+// reading (heartbeat stamps, failure-detector lastSeen and sweeps)
+// shifts by d, while wall-clock timers keep firing on real time — the
+// clock-skew fault shape, where a node's clock jumps but its cadence
+// does not. Safe from any goroutine; zero restores real time.
+func (r *Runtime) SetClockOffset(d time.Duration) { r.clockOff.Store(int64(d)) }
+
+// ClockOffset returns the current injected clock skew.
+func (r *Runtime) ClockOffset() time.Duration { return time.Duration(r.clockOff.Load()) }
+
+// StallLoop blocks event loop i for d: timers do not fire, messages
+// queue in the mailbox, heartbeats lapse — but the process, its
+// listener and its pooled connections stay up. This is the
+// stalled-not-dead fault (GC pause, noisy neighbor, swap storm): peers
+// must decide on heartbeat silence alone, with TCP still open. Returns
+// without waiting for the stall to elapse.
+func (r *Runtime) StallLoop(i int, d time.Duration) {
+	r.DoAsyncOn(i, func() { stallLoopBody(d) })
+}
+
+// StallLoops stalls every event loop for d, freezing the whole node.
+func (r *Runtime) StallLoops(d time.Duration) {
+	for i := range r.loops {
+		r.StallLoop(i, d)
+	}
+}
+
+// stallLoopBody deliberately blocks the calling event loop — the one
+// thing loop code must never do, injected on purpose by the chaos
+// harness through StallLoop. The loop-safe annotation is the audited
+// escape hatch: the blocking is the fault under test.
+//
+//rpcv:loop-safe
+func stallLoopBody(d time.Duration) { time.Sleep(d) }
 
 // LoopStat is a point-in-time snapshot of one event loop, for statusz.
 type LoopStat struct {
@@ -724,8 +771,13 @@ var (
 )
 
 func (e *rtEnv) Self() proto.NodeID { return e.l.r.cfg.ID }
-func (e *rtEnv) Now() time.Time     { return time.Now() }
-func (e *rtEnv) Disk() node.Disk    { return e.l.disk }
+func (e *rtEnv) Now() time.Time {
+	if off := e.l.r.clockOff.Load(); off != 0 {
+		return time.Now().Add(time.Duration(off))
+	}
+	return time.Now()
+}
+func (e *rtEnv) Disk() node.Disk { return e.l.disk }
 
 // Rand returns the loop-private RNG: each loop seeds its own stream,
 // so concurrent loops never share (and never race on) one rand.Rand.
